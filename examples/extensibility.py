@@ -1,0 +1,82 @@
+"""Extensibility (paper §3.4): defining new statistics without touching
+operator logic.
+
+The paper's point: because complex aggregates are *composed* from low-level
+plan operators through a planner API, adding a statistic is a few lines of
+graph construction — the paper shows ``planMSSD``; this example builds that
+plus a custom trimmed mean, and shows how interning shares the underlying
+primitive aggregates across statistics.
+
+Run:  python examples/extensibility.py
+"""
+
+import numpy as np
+
+from repro import Database
+from repro.compgraph import AggregatePlanner, functions as F
+from repro.compgraph.graph import render_computation_graph
+from repro.lolepop import LolepopEngine
+
+
+def plan_range_ratio(planner: AggregatePlanner, x) -> "F.Node":
+    """A custom statistic: (max - min) / iqr — defined here, by a *user*,
+    purely through the planner API."""
+    spread = planner.aggregate("max", x) - planner.aggregate("min", x)
+    return spread / F.iqr(planner, x).nullif(0.0)
+
+
+def main() -> None:
+    db = Database(num_threads=2)
+    db.create_table("m", {"g": "int64", "x": "float64", "t": "int64"})
+    rng = np.random.default_rng(11)
+    n = 3_000
+    db.insert(
+        "m",
+        {
+            "g": rng.integers(0, 5, n),
+            "x": np.round(rng.lognormal(0.0, 0.6, n), 4),
+            "t": rng.permutation(n),
+        },
+    )
+
+    planner = AggregatePlanner(db.plan("SELECT * FROM m"), group_by=["g"])
+    x = planner.value("x")
+    plan = planner.finish(
+        {
+            "g": planner.key("g"),
+            # Paper-provided Low-Level-Functions:
+            "mssd": F.mssd(planner, x, planner.value("t")),
+            "mad": F.mad(planner, x),
+            "iqr": F.iqr(planner, x),
+            "kurtosis": F.kurtosis(planner, x),
+            "skewness": F.skewness(planner, x),
+            # ... and the custom one defined above:
+            "range_ratio": plan_range_ratio(planner, x),
+        }
+    )
+
+    print(
+        f"The six statistics share {len(planner.aggregates)} primitive "
+        f"aggregates and {len(planner.windows)} window computations:\n"
+    )
+    print(render_computation_graph(plan))
+
+    result = LolepopEngine(db.catalog, db.config).run(plan)
+    print("\nResults:")
+    print("   ", result.schema.names())
+    for row in sorted(result.rows()):
+        print("    g =", row[0], " ".join(f"{v:8.4f}" for v in row[1:]))
+
+    # Equivalent SQL exists for the built-ins — the planner API and the SQL
+    # frontend lower through the same computation graph:
+    sql = db.sql(
+        "SELECT g, mad(x) FROM m GROUP BY g", engine="lolepop"
+    )
+    api_mad = {g: round(v, 9) for g, *rest in result.rows() for v in [rest[1]]}
+    sql_mad = {g: round(v, 9) for g, v in sql.rows()}
+    assert api_mad == sql_mad
+    print("\nSQL mad(x) and planner-API mad agree on every group.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Render the paper's plan figures from live translations.
+
+Prints, for each query of the paper's Figure 1 and Figure 3, the bound
+computation graph (Figure 1, middle) and the translated LOLEPOP DAG
+(Figure 1 right / Figure 3), so the reproduction can be eyeballed against
+the paper side by side.
+
+Run:  python examples/paper_plans.py
+"""
+
+from repro import Database
+from repro.compgraph import render_computation_graph
+
+QUERIES = {
+    "Figure 1 — median, avg, distinct sum": (
+        "SELECT median(a), avg(b), sum(DISTINCT c) FROM r GROUP BY d"
+    ),
+    "Figure 3 plan 0 — composed aggregates share SUM/COUNT": (
+        "SELECT a, var_pop(b), count(b), sum(b) FROM r GROUP BY a"
+    ),
+    "Figure 3 plan 1 — grouping sets by reaggregation": (
+        "SELECT a, b, sum(c) FROM r GROUP BY GROUPING SETS ((a), (b), (a, b))"
+    ),
+    "Figure 3 plan 2 — shared buffer, re-sorted per ordering": (
+        "SELECT a, sum(b), sum(DISTINCT b), "
+        "percentile_disc(0.5) WITHIN GROUP (ORDER BY c), "
+        "percentile_disc(0.5) WITHIN GROUP (ORDER BY d) FROM r GROUP BY a"
+    ),
+    "Figure 3 plan 3 — ORDER BY reuses the window buffer": (
+        "SELECT row_number() OVER (PARTITION BY a ORDER BY b) AS rn, c "
+        "FROM r ORDER BY c LIMIT 100"
+    ),
+    "Figure 3 plan 4 — MAD (nested ordered-set aggregate)": (
+        "SELECT a, mad(b) FROM r GROUP BY a"
+    ),
+    "Figure 3 plan 5 — MSSD (window ordering compatible, sort elided)": (
+        "SELECT b, sum(pow(lead(a) OVER (PARTITION BY b ORDER BY a) - a, 2)) "
+        "/ nullif(count(*) - 1, 0) FROM r GROUP BY b"
+    ),
+}
+
+
+def main() -> None:
+    db = Database()
+    db.create_table(
+        "r",
+        {"a": "int64", "b": "float64", "c": "float64", "d": "float64"},
+    )
+    for title, sql in QUERIES.items():
+        print("=" * 78)
+        print(title)
+        print("-" * 78)
+        print(sql.strip())
+        graph = render_computation_graph(db.plan(sql))
+        if "no aggregation region" not in graph:
+            print("\ncomputation graph (Figure 1, middle):")
+            print(graph)
+        print("\nLOLEPOP DAG:")
+        print(db.explain_lolepop(sql))
+        print()
+
+
+if __name__ == "__main__":
+    main()

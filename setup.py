@@ -1,0 +1,5 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package, so
+`pip install -e . --no-build-isolation` needs the setup.py develop path."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro — a reproduction of *Building Advanced SQL Analytics From
+Low-Level Plan Operators* (Kohn, Leis, Neumann; SIGMOD 2021).
+
+The package implements the paper's LOLEPOP framework (PARTITION, SORT,
+MERGE, COMBINE, SCAN, WINDOW, ORDAGG, HASHAGG) inside a complete analytical
+SQL engine, plus three baseline engines modeling the paper's comparators
+and a TPC-H-like workload substrate. See DESIGN.md for the system
+inventory and EXPERIMENTS.md for the reproduced tables and figures.
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database(num_threads=4)
+    db.create_table("r", {"k": "int64", "v": "float64"})
+    db.insert("r", {"k": [1, 1, 2], "v": [0.5, 1.5, 9.0]})
+    print(db.sql("SELECT k, median(v) FROM r GROUP BY k").rows())
+"""
+
+from .api import Database
+from .execution.context import EngineConfig
+from .execution.trace import ExecutionTrace
+from .lolepop.engine import LolepopEngine, QueryResult
+from .baseline import ColumnarEngine, MonolithicEngine, NaiveRowEngine
+from .errors import ReproError
+from .types import DataType, Field, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "EngineConfig",
+    "ExecutionTrace",
+    "QueryResult",
+    "LolepopEngine",
+    "MonolithicEngine",
+    "NaiveRowEngine",
+    "ColumnarEngine",
+    "ReproError",
+    "DataType",
+    "Field",
+    "Schema",
+    "__version__",
+]

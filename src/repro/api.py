@@ -1,0 +1,160 @@
+"""Public API: the :class:`Database` facade.
+
+Example::
+
+    from repro import Database
+
+    db = Database(num_threads=4)
+    db.create_table("r", {"k": "int64", "v": "float64"})
+    db.insert("r", {"k": [1, 1, 2], "v": [0.5, 1.5, 9.0]})
+    result = db.sql("SELECT k, sum(v), median(v) FROM r GROUP BY k")
+    print(result.rows())
+    print(db.explain("SELECT k, median(v) FROM r GROUP BY k"))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from .baseline import ColumnarEngine, MonolithicEngine, NaiveRowEngine
+from .errors import ReproError
+from .execution.context import EngineConfig
+from .logical import LogicalPlan, explain_plan
+from .lolepop.engine import LolepopEngine, QueryResult
+from .sql import bind, parse_sql
+from .storage.table import Catalog, Table
+from .types import Schema
+
+_ENGINES = {
+    "lolepop": LolepopEngine,
+    "monolithic": MonolithicEngine,
+    "naive": NaiveRowEngine,
+    "columnar": ColumnarEngine,
+}
+
+
+class Database:
+    """A catalog plus query entry points for all four engines."""
+
+    def __init__(
+        self,
+        num_threads: int = 1,
+        config: Optional[EngineConfig] = None,
+    ):
+        self.catalog = Catalog()
+        self.config = config or EngineConfig(num_threads=num_threads)
+
+    # ------------------------------------------------------------------
+    # Catalog management
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, schema) -> Table:
+        """Create a table; ``schema`` is a Schema, a dict of name→type, or a
+        sequence of (name, type) pairs."""
+        return self.catalog.create_table(name, schema)
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+
+    def table(self, name: str) -> Table:
+        return self.catalog.get(name)
+
+    def insert(self, name: str, data: Dict[str, Any]) -> int:
+        """Insert rows given as ``{column: values}``. Numpy arrays use the
+        no-null fast path; Python lists accept ``None`` for NULL."""
+        table = self.catalog.get(name)
+        if all(isinstance(v, np.ndarray) for v in data.values()):
+            return table.insert_arrays(data)
+        return table.insert_pydict(data)
+
+    def load_csv(
+        self,
+        name: str,
+        path: str,
+        schema=None,
+        delimiter: str = ",",
+        header: bool = True,
+    ) -> Table:
+        """Create table ``name`` from a CSV file; the schema is inferred
+        (INT64 → FLOAT64 → DATE → BOOL → STRING) unless given."""
+        from .io_csv import read_csv
+        from .types import Schema as _Schema
+
+        if schema is not None and not isinstance(schema, _Schema):
+            schema = _Schema.of(*schema.items()) if isinstance(schema, dict) else schema
+        inferred, data = read_csv(path, schema, delimiter, header)
+        table = self.catalog.create_table(name, inferred)
+        if data and len(next(iter(data.values()))) > 0:
+            table.insert_pydict(data)
+        return table
+
+    def create_table_as(
+        self, name: str, query: str, engine: str = "lolepop"
+    ) -> Table:
+        """CREATE TABLE AS: materialize a query's result as a new table."""
+        result = self.sql(query, engine=engine)
+        table = self.catalog.create_table(name, result.schema)
+        if len(result.batch):
+            table.insert_batch(result.batch)
+        return table
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def plan(self, query: str) -> LogicalPlan:
+        """Parse and bind ``query``, returning the logical plan."""
+        return bind(parse_sql(query), self.catalog)
+
+    def sql(
+        self,
+        query: str,
+        engine: str = "lolepop",
+        config: Optional[EngineConfig] = None,
+    ) -> QueryResult:
+        """Execute ``query`` on the chosen engine ('lolepop', 'monolithic',
+        'naive', or 'columnar').
+
+        ``EXPLAIN <select>`` returns the logical plan as rows;
+        ``EXPLAIN LOLEPOP <select>`` returns the LOLEPOP DAG."""
+        stripped = query.lstrip()
+        if stripped.lower().startswith("explain"):
+            return self._explain_statement(stripped)
+        if engine not in _ENGINES:
+            raise ReproError(
+                f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}"
+            )
+        plan = self.plan(query)
+        runner = _ENGINES[engine](self.catalog, config or self.config)
+        return runner.run(plan)
+
+    def _explain_statement(self, query: str) -> QueryResult:
+        from .storage.batch import Batch
+        from .types import Schema
+
+        rest = query[len("explain"):].lstrip()
+        if rest.lower().startswith("lolepop"):
+            text = self.explain_lolepop(rest[len("lolepop"):].lstrip())
+        else:
+            text = self.explain(rest)
+        schema = Schema.of(("plan", "string"))
+        batch = Batch.from_pydict(schema, {"plan": text.splitlines()})
+        return QueryResult(batch, 0.0, 0.0, None, [])
+
+    def explain(self, query: str) -> str:
+        """The bound logical plan as ASCII."""
+        return explain_plan(self.plan(query))
+
+    def estimate(self, query: str) -> float:
+        """Estimated output rows (sampled statistics + System-R-style
+        selectivity rules; see repro.logical.cardinality)."""
+        from .logical.cardinality import CardinalityEstimator
+        from .stats import StatisticsCache
+
+        estimator = CardinalityEstimator(StatisticsCache(self.catalog))
+        return estimator.rows(self.plan(query))
+
+    def explain_lolepop(self, query: str) -> str:
+        """The LOLEPOP DAG of the query's top statistics region."""
+        engine = LolepopEngine(self.catalog, self.config)
+        return engine.explain(self.plan(query))

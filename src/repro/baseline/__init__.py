@@ -1,0 +1,18 @@
+"""Baseline engines — architectural stand-ins for the paper's comparators.
+
+- :class:`~repro.baseline.monolithic.MonolithicEngine` — HyPer: traditional
+  monolithic relational operators (hash GROUP BY with internal DISTINCT
+  phases, ordered-set aggregates rewritten through a WINDOW operator,
+  grouping sets via input duplication/UNION ALL, per-operator
+  re-materialization, single-threaded per-partition sorting).
+- :class:`~repro.baseline.naive.NaiveRowEngine` — PostgreSQL: tuple-at-a-
+  time interpretation in pure Python. Also the differential-testing oracle.
+- :class:`~repro.baseline.columnar.ColumnarEngine` — MonetDB: column-at-a-
+  time full materialization, single-phase aggregation, single-threaded.
+"""
+
+from .naive import NaiveRowEngine
+from .monolithic import MonolithicEngine
+from .columnar import ColumnarEngine
+
+__all__ = ["NaiveRowEngine", "MonolithicEngine", "ColumnarEngine"]

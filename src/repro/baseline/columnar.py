@@ -1,0 +1,44 @@
+"""Column-at-a-time full-materialization engine (MonetDB stand-in).
+
+MonetDB executes one operator at a time over whole columns on a single
+core (for these query shapes), materializing every intermediate: no
+morsels, no pipelining, single-phase aggregation. We realize that profile
+by parameterizing the monolithic engine: one huge morsel, one partition,
+one thread, single-phase hash aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..execution.context import EngineConfig
+from ..logical import LogicalPlan
+from ..lolepop.engine import QueryResult
+from ..storage.table import Catalog
+from .monolithic import MonolithicEngine
+
+
+class ColumnarEngine(MonolithicEngine):
+    name = "columnar"
+
+    def __init__(self, catalog: Catalog, config: Optional[EngineConfig] = None):
+        base = config or EngineConfig()
+        columnar = EngineConfig(
+            num_threads=1,
+            num_partitions=1,
+            morsel_size=1 << 62,
+            collect_trace=base.collect_trace,
+            two_phase_hashagg=False,
+        )
+        super().__init__(catalog, columnar)
+
+    def run(self, plan: LogicalPlan) -> QueryResult:
+        result = super().run(plan)
+        # Single-threaded by construction: the makespan is the serial time.
+        return QueryResult(
+            result.batch,
+            result.serial_time,
+            result.serial_time,
+            result.trace,
+            [],
+        )

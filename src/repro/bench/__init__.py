@@ -1,0 +1,25 @@
+"""Benchmark workload definitions and the reporting harness.
+
+One module per concern: :mod:`~repro.bench.workloads` holds every query of
+the paper's evaluation (Tables 2/3, Figures 7/8); :mod:`~repro.bench.harness`
+runs them on configured engines and prints the paper-shaped rows.
+"""
+
+from .workloads import (
+    TABLE2_QUERIES,
+    TABLE3_QUERIES,
+    FIGURE8_QUERIES,
+    TABLE3_CATEGORIES,
+)
+from .harness import BenchResult, run_query, measure, format_table3_row
+
+__all__ = [
+    "TABLE2_QUERIES",
+    "TABLE3_QUERIES",
+    "FIGURE8_QUERIES",
+    "TABLE3_CATEGORIES",
+    "BenchResult",
+    "run_query",
+    "measure",
+    "format_table3_row",
+]

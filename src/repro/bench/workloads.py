@@ -1,0 +1,172 @@
+"""The paper's evaluation queries.
+
+Column-letter legend of Table 3 (paper §5.1):
+``e``=l_extendedprice ``n``=l_linenumber ``s``=l_linestatus ``q``=l_quantity
+``r``=l_receiptdate ``k``=l_suppkey ``d``=l_shipdate
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+# ----------------------------------------------------------------------
+# Table 2: simple aggregates (HyPer vs PostgreSQL vs MonetDB)
+# ----------------------------------------------------------------------
+TABLE2_QUERIES: Dict[str, str] = {
+    "sum_group": (
+        "SELECT l_suppkey, sum(l_quantity) FROM lineitem GROUP BY l_suppkey"
+    ),
+    "grouping_sets": (
+        "SELECT l_suppkey, l_linenumber, sum(l_quantity) FROM lineitem "
+        "GROUP BY GROUPING SETS ((l_suppkey, l_linenumber), (l_suppkey))"
+    ),
+    "percentile": (
+        "SELECT l_suppkey, percentile_disc(0.5) WITHIN GROUP (ORDER BY l_quantity) "
+        "FROM lineitem GROUP BY l_suppkey"
+    ),
+    "row_number": (
+        "SELECT row_number() OVER (PARTITION BY l_suppkey ORDER BY l_quantity) AS rn "
+        "FROM lineitem"
+    ),
+}
+
+# ----------------------------------------------------------------------
+# Table 3: the 18 advanced queries (paper §5.1)
+# ----------------------------------------------------------------------
+_P = "percentile_disc({f}) WITHIN GROUP (ORDER BY {col})"
+
+
+def _pctl(col: str, fraction: float) -> str:
+    return _P.format(f=fraction, col=col)
+
+
+TABLE3_QUERIES: Dict[int, str] = {
+    # --- Single-attribute descriptive statistics -----------------------
+    1: (
+        "SELECT l_suppkey, sum(l_extendedprice), count(l_extendedprice), "
+        "var_samp(l_extendedprice) FROM lineitem GROUP BY l_suppkey"
+    ),
+    2: (
+        "SELECT l_suppkey, sum(l_extendedprice), count(l_extendedprice), "
+        "var_samp(l_extendedprice), "
+        + _pctl("l_extendedprice", 0.5)
+        + " FROM lineitem GROUP BY l_suppkey"
+    ),
+    3: (
+        "SELECT l_suppkey, count(l_extendedprice), count(DISTINCT l_extendedprice) "
+        "FROM lineitem GROUP BY l_suppkey"
+    ),
+    # --- Ordered-set aggregates ----------------------------------------
+    4: (
+        "SELECT l_suppkey, " + _pctl("l_extendedprice", 0.5)
+        + " FROM lineitem GROUP BY l_suppkey"
+    ),
+    5: (
+        "SELECT l_suppkey, " + _pctl("l_extendedprice", 0.5) + ", "
+        + _pctl("l_extendedprice", 0.99)
+        + " FROM lineitem GROUP BY l_suppkey"
+    ),
+    6: (
+        "SELECT l_suppkey, " + _pctl("l_extendedprice", 0.5) + ", "
+        + _pctl("l_extendedprice", 0.99) + ", "
+        + _pctl("l_quantity", 0.5) + ", " + _pctl("l_quantity", 0.9)
+        + " FROM lineitem GROUP BY l_suppkey"
+    ),
+    7: (
+        "SELECT l_linenumber, " + _pctl("l_extendedprice", 0.5) + ", "
+        + _pctl("l_quantity", 0.5)
+        + " FROM lineitem GROUP BY l_linenumber"
+    ),
+    # --- Grouping sets --------------------------------------------------
+    8: (
+        "SELECT l_suppkey, l_linenumber, sum(l_quantity) FROM lineitem "
+        "GROUP BY GROUPING SETS ((l_suppkey, l_linenumber), (l_suppkey), "
+        "(l_linenumber))"
+    ),
+    9: (
+        "SELECT l_suppkey, l_linestatus, l_linenumber, sum(l_quantity) "
+        "FROM lineitem GROUP BY GROUPING SETS "
+        "((l_suppkey, l_linestatus, l_linenumber), (l_suppkey, l_linestatus), "
+        "(l_suppkey, l_linenumber), (l_linenumber))"
+    ),
+    10: (
+        "SELECT l_suppkey, l_linenumber, " + _pctl("l_quantity", 0.5)
+        + " FROM lineitem GROUP BY GROUPING SETS "
+        "((l_suppkey, l_linenumber), (l_suppkey))"
+    ),
+    11: (
+        "SELECT l_suppkey, l_linestatus, l_linenumber, " + _pctl("l_quantity", 0.5)
+        + " FROM lineitem GROUP BY GROUPING SETS "
+        "((l_suppkey, l_linestatus, l_linenumber), (l_suppkey, l_linestatus), "
+        "(l_suppkey))"
+    ),
+    12: (
+        "SELECT l_suppkey, l_linenumber, " + _pctl("l_quantity", 0.5)
+        + " FROM lineitem GROUP BY GROUPING SETS "
+        "((l_suppkey, l_linenumber), (l_suppkey), (l_linenumber))"
+    ),
+    # --- Window functions ------------------------------------------------
+    13: (
+        "SELECT lead(l_quantity) OVER (PARTITION BY l_suppkey ORDER BY l_receiptdate) AS w1, "
+        "lag(l_quantity) OVER (PARTITION BY l_suppkey ORDER BY l_receiptdate) AS w2 "
+        "FROM lineitem"
+    ),
+    14: (
+        "SELECT lead(l_quantity) OVER (PARTITION BY l_suppkey ORDER BY l_receiptdate) AS w1, "
+        "lag(l_quantity) OVER (PARTITION BY l_suppkey ORDER BY l_receiptdate) AS w2, "
+        "cumsum(l_quantity) OVER (PARTITION BY l_suppkey ORDER BY l_shipdate) AS w3 "
+        "FROM lineitem"
+    ),
+    15: (
+        "SELECT cumsum(l_quantity) OVER (PARTITION BY l_linenumber ORDER BY l_shipdate) AS w1 "
+        "FROM lineitem"
+    ),
+    # --- Nested aggregates ------------------------------------------------
+    16: (
+        "SELECT l_suppkey, percentile_disc(0.5) WITHIN GROUP (ORDER BY "
+        "l_extendedprice - percentile_disc(0.5) WITHIN GROUP (ORDER BY l_extendedprice)"
+        ") FROM lineitem GROUP BY l_suppkey"
+    ),
+    17: (
+        "SELECT percentile_disc(0.5) WITHIN GROUP (ORDER BY s) AS med "
+        "FROM (SELECT sum(l_quantity) AS s FROM lineitem GROUP BY l_suppkey) AS t"
+    ),
+    18: (
+        "SELECT l_suppkey, sum(power(lead(l_quantity) OVER "
+        "(PARTITION BY l_suppkey ORDER BY l_receiptdate) - l_quantity, 2)) "
+        "/ count(*) AS mssd FROM lineitem GROUP BY l_suppkey"
+    ),
+}
+
+TABLE3_CATEGORIES: Dict[int, str] = {
+    1: "Single", 2: "Single", 3: "Single",
+    4: "Ordered-Set", 5: "Ordered-Set", 6: "Ordered-Set", 7: "Ordered-Set",
+    8: "Grouping-Sets", 9: "Grouping-Sets", 10: "Grouping-Sets",
+    11: "Grouping-Sets", 12: "Grouping-Sets",
+    13: "Window", 14: "Window", 15: "Window",
+    16: "Nested", 17: "Nested", 18: "Nested",
+}
+
+#: The paper's Table 3 20-thread speedup factors (Umbra time × factor ≈
+#: HyPer time), recorded for EXPERIMENTS.md comparisons.
+TABLE3_PAPER_FACTORS_20T: Dict[int, float] = {
+    1: 1.62, 2: 2.03, 3: 21.90, 4: 2.14, 5: 3.31, 6: 4.20, 7: 21.36,
+    8: 3.96, 9: 4.09, 10: 7.56, 11: 9.44, 12: 20.20, 13: 1.50, 14: 1.46,
+    15: 12.29, 16: 2.07, 17: 2.62, 18: 1.89,
+}
+
+# ----------------------------------------------------------------------
+# Figure 8: execution-trace queries (SF 0.5, 4 threads, 16 partitions)
+# ----------------------------------------------------------------------
+FIGURE8_QUERIES: Dict[int, str] = {
+    1: (
+        "SELECT l_suppkey, l_linenumber, sum(l_quantity) FROM lineitem "
+        "GROUP BY GROUPING SETS ((l_suppkey, l_linenumber), (l_suppkey), "
+        "(l_linenumber))"
+    ),
+    2: (
+        "SELECT l_suppkey, sum(l_quantity), var_samp(l_quantity), "
+        "median(l_quantity - median(l_quantity)) AS mad "
+        "FROM lineitem GROUP BY l_suppkey"
+    ),
+}

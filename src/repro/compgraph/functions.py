@@ -1,0 +1,117 @@
+"""Low-Level-Functions: complex statistics composed through the planner API.
+
+These are the paper's §3.4 examples — ``planMSSD`` and friends — plus the
+further statistics it name-drops (interquartile range, kurtosis, central
+moments). Each function takes an :class:`AggregatePlanner` and value nodes
+and returns a result node; none of them touch operator logic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..aggregates import FrameBound, FrameSpec
+from .planner import AggregatePlanner, Node, NodeLike
+
+
+def avg(planner: AggregatePlanner, x: NodeLike) -> Node:
+    """AVG decomposed into SUM/COUNT (shared with any other user)."""
+    total = planner.aggregate("sum", x)
+    count = planner.aggregate("count", x)
+    return total.as_float() / count
+
+
+def var_pop(planner: AggregatePlanner, x: NodeLike) -> Node:
+    """VAR_POP via the moment decomposition of §3.3."""
+    x = x if isinstance(x, Node) else planner.value(x)
+    squares = planner.aggregate("sum", x * x)
+    total = planner.aggregate("sum", x)
+    count = planner.aggregate("count", x)
+    return (squares.as_float() - total.as_float() * total / count) / count
+
+
+def var_samp(planner: AggregatePlanner, x: NodeLike) -> Node:
+    x = x if isinstance(x, Node) else planner.value(x)
+    squares = planner.aggregate("sum", x * x)
+    total = planner.aggregate("sum", x)
+    count = planner.aggregate("count", x)
+    return (squares.as_float() - total.as_float() * total / count) / (
+        count - 1
+    ).nullif(0)
+
+
+def stddev_pop(planner: AggregatePlanner, x: NodeLike) -> Node:
+    return var_pop(planner, x).sqrt()
+
+
+def median(planner: AggregatePlanner, x: NodeLike) -> Node:
+    return planner.aggregate("percentile_cont", x, fraction=0.5)
+
+
+def percentile(planner: AggregatePlanner, x: NodeLike, fraction: float) -> Node:
+    return planner.aggregate("percentile_disc", x, fraction=fraction)
+
+
+def mad(planner: AggregatePlanner, x: NodeLike) -> Node:
+    """Median Absolute Deviation: MEDIAN(|x - MEDIAN(x)|), the nested
+    aggregate of §3.3 — the inner median is a per-group window."""
+    x = x if isinstance(x, Node) else planner.value(x)
+    center = planner.window("percentile_cont", x, fraction=0.5)
+    return planner.aggregate(
+        "percentile_cont", (x - center).abs(), fraction=0.5
+    )
+
+
+def mssd(planner: AggregatePlanner, x: NodeLike, order: NodeLike) -> Node:
+    """Mean Square Successive Difference — the paper's planMSSD example:
+
+        f    = WindowFrame(Rows, CurrentRow, Following(1))
+        lead = plan(LEAD, arg, key, ord, f)
+        ssd  = plan(power(sub(lead, arg), 2))
+        sum  = plan(SUM, ssd, key)
+        cnt  = plan(COUNT, ssd, key)
+        res  = plan(div(sum, nullif(sub(cnt, 1), 0)))
+    """
+    x = x if isinstance(x, Node) else planner.value(x)
+    frame = FrameSpec(
+        FrameBound.CURRENT_ROW, 0, FrameBound.FOLLOWING, 1
+    )
+    lead = planner.window("lead", x, order_by=[(order, False)], frame=frame)
+    ssd = (lead - x) ** 2
+    total = planner.aggregate("sum", ssd)
+    count = planner.aggregate("count", ssd)
+    return (total.as_float() / count).sqrt()
+
+
+def iqr(planner: AggregatePlanner, x: NodeLike) -> Node:
+    """Interquartile range: PCTL(x, .75) - PCTL(x, .25)."""
+    upper = planner.aggregate("percentile_cont", x, fraction=0.75)
+    lower = planner.aggregate("percentile_cont", x, fraction=0.25)
+    return upper - lower
+
+
+def central_moment(planner: AggregatePlanner, x: NodeLike, k: int) -> Node:
+    """k-th central moment: AVG((x - AVG(x))^k); the mean is a per-group
+    window aggregate, the outer average a plain aggregation."""
+    x = x if isinstance(x, Node) else planner.value(x)
+    total = planner.window("sum", x, frame=FrameSpec.whole_partition())
+    count = planner.window("count", x, frame=FrameSpec.whole_partition())
+    mean = total.as_float() / count
+    deviation_k = (x - mean) ** k
+    outer_sum = planner.aggregate("sum", deviation_k)
+    outer_count = planner.aggregate("count", deviation_k)
+    return outer_sum.as_float() / outer_count
+
+
+def kurtosis(planner: AggregatePlanner, x: NodeLike) -> Node:
+    """Excess kurtosis: m4 / m2^2 - 3 (moments shared via interning)."""
+    m4 = central_moment(planner, x, 4)
+    m2 = central_moment(planner, x, 2)
+    return m4 / (m2 * m2).nullif(0.0) - 3.0
+
+
+def skewness(planner: AggregatePlanner, x: NodeLike) -> Node:
+    """Skewness: m3 / m2^(3/2)."""
+    m3 = central_moment(planner, x, 3)
+    m2 = central_moment(planner, x, 2)
+    return m3 / (m2 * m2 * m2).sqrt().nullif(0.0)

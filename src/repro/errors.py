@@ -1,0 +1,61 @@
+"""Error hierarchy for the repro engine.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch one base class. The hierarchy mirrors the query life cycle:
+lexing/parsing -> binding -> planning -> execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SqlError(ReproError):
+    """Base class for errors in the SQL frontend."""
+
+
+class LexError(SqlError):
+    """Raised when the lexer encounters an invalid token.
+
+    Carries the 1-based line and column of the offending character.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})" if line else message)
+        self.line = line
+        self.column = column
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot derive a statement from the token stream."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})" if line else message)
+        self.line = line
+        self.column = column
+
+
+class BindError(SqlError):
+    """Raised during semantic analysis: unknown tables/columns, type errors,
+    misuse of aggregates or window functions."""
+
+
+class CatalogError(ReproError):
+    """Raised for catalog violations (duplicate/unknown tables, schema
+    mismatches on insert)."""
+
+
+class PlanError(ReproError):
+    """Raised when a logical plan cannot be translated to LOLEPOPs."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a plan fails during execution (e.g. division by zero in
+    strict mode, buffer misuse)."""
+
+
+class NotSupportedError(ReproError):
+    """Raised for SQL features that are recognized but outside the
+    reproduction's scope (see DESIGN.md section 7)."""

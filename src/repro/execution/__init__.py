@@ -1,0 +1,22 @@
+"""Execution substrate: morsel scheduling, traces, engine configuration.
+
+CPython cannot run data-parallel threads, so parallelism is *simulated*
+(DESIGN.md §4): every work item (morsel, partition, merge step) executes
+serially and is timed; the :class:`~repro.execution.scheduler.SimulatedScheduler`
+then list-schedules the measured durations onto T virtual workers with
+pipeline barriers. The resulting makespan is the simulated parallel wall
+time, and the per-thread intervals form the execution traces of Figure 8.
+"""
+
+from .scheduler import SimulatedScheduler, WorkItem
+from .trace import ExecutionTrace, TraceRecord
+from .context import EngineConfig, ExecutionContext
+
+__all__ = [
+    "SimulatedScheduler",
+    "WorkItem",
+    "ExecutionTrace",
+    "TraceRecord",
+    "EngineConfig",
+    "ExecutionContext",
+]

@@ -1,0 +1,113 @@
+"""Engine configuration and per-query execution context."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from .scheduler import SimulatedScheduler
+from .trace import ExecutionTrace
+
+
+class EngineConfig:
+    """Tunables shared by all engines.
+
+    The optimizer flags correspond to the DAG optimization passes of the
+    paper's step E (Figure 2); disabling one is the ablation knob the
+    benchmarks sweep.
+    """
+
+    def __init__(
+        self,
+        num_threads: int = 1,
+        num_partitions: int = 64,
+        morsel_size: int = 100_000,
+        collect_trace: bool = False,
+        # --- optimizer ablation flags (LOLEPOP engine only) -------------
+        reuse_buffers: bool = True,
+        elide_sorts: bool = True,
+        merge_unbounded_windows: bool = True,
+        remove_redundant_combines: bool = True,
+        reaggregate_grouping_sets: bool = True,
+        two_phase_hashagg: bool = True,
+        permutation_vectors: bool = True,
+        # --- spilling (paper §7 future work) -----------------------------
+        memory_budget_bytes: Optional[int] = None,
+        spill_directory: Optional[str] = None,
+        # --- cost-based decisions (paper §7 future work) ------------------
+        cost_based_distinct: bool = False,
+    ):
+        self.num_threads = num_threads
+        self.num_partitions = num_partitions
+        self.morsel_size = morsel_size
+        self.collect_trace = collect_trace
+        self.reuse_buffers = reuse_buffers
+        self.elide_sorts = elide_sorts
+        self.merge_unbounded_windows = merge_unbounded_windows
+        self.remove_redundant_combines = remove_redundant_combines
+        self.reaggregate_grouping_sets = reaggregate_grouping_sets
+        self.two_phase_hashagg = two_phase_hashagg
+        self.permutation_vectors = permutation_vectors
+        #: When set, tuple buffers spill partitions to disk to keep their
+        #: loaded footprint under this many bytes.
+        self.memory_budget_bytes = memory_budget_bytes
+        self.spill_directory = spill_directory
+        #: Use the cost model + cardinality estimates to choose between the
+        #: hash pair and the duplicate-sensitive ORDAGG for DISTINCT
+        #: aggregates (§3.3's trade). Off = the paper's heuristic default.
+        self.cost_based_distinct = cost_based_distinct
+
+
+class ExecutionContext:
+    """Per-query state: scheduler, trace, and the phase label used to group
+    trace records into pipelines."""
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        self.config = config or EngineConfig()
+        self.trace = ExecutionTrace() if self.config.collect_trace else None
+        self.scheduler = SimulatedScheduler(self.config.num_threads, self.trace)
+        self._phase = "p0"
+        self._phase_counter = 0
+        self._spill_manager = None
+
+    @property
+    def spill_manager(self):
+        """Lazily created spill manager (only when a memory budget is set)."""
+        if self._spill_manager is None:
+            from ..storage.spill import SpillManager
+
+            self._spill_manager = SpillManager(self.config.spill_directory)
+        return self._spill_manager
+
+    def cleanup(self) -> None:
+        """Remove spill files created during this query."""
+        if self._spill_manager is not None:
+            self._spill_manager.cleanup()
+            self._spill_manager = None
+
+    # ------------------------------------------------------------------
+    def next_phase(self) -> str:
+        """Advance to the next pipeline phase (a scheduling barrier)."""
+        self._phase_counter += 1
+        self._phase = f"p{self._phase_counter}"
+        return self._phase
+
+    def parallel_for(
+        self,
+        operator: str,
+        items: Sequence,
+        fn: Callable,
+        splittable: bool = False,
+    ) -> List:
+        """Run one parallel region under the current phase label."""
+        return self.scheduler.run_region(
+            operator, self._phase, items, fn, splittable
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def simulated_time(self) -> float:
+        return self.scheduler.sim_time
+
+    @property
+    def serial_time(self) -> float:
+        return self.scheduler.serial_time

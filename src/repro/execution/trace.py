@@ -1,0 +1,82 @@
+"""Execution traces (the data behind Figure 8).
+
+A :class:`TraceRecord` is one work item executed by one virtual thread:
+``(thread, start, end, operator, phase)`` with times in simulated seconds.
+:class:`ExecutionTrace` collects records and renders the per-thread Gantt
+chart the paper shows, as ASCII.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+
+class TraceRecord(NamedTuple):
+    thread: int
+    start: float
+    end: float
+    operator: str
+    phase: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class ExecutionTrace:
+    """Ordered collection of trace records for one query execution."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def add(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def makespan(self) -> float:
+        return max((r.end for r in self.records), default=0.0)
+
+    def operators(self) -> List[str]:
+        seen: List[str] = []
+        for record in self.records:
+            if record.operator not in seen:
+                seen.append(record.operator)
+        return seen
+
+    def by_thread(self) -> dict:
+        out: dict = {}
+        for record in self.records:
+            out.setdefault(record.thread, []).append(record)
+        return out
+
+    def total_work(self, operator: Optional[str] = None) -> float:
+        return sum(
+            r.duration
+            for r in self.records
+            if operator is None or r.operator == operator
+        )
+
+    def render(self, width: int = 100) -> str:
+        """ASCII Gantt chart: one row per thread, one letter per operator."""
+        if not self.records:
+            return "(empty trace)"
+        span = self.makespan or 1.0
+        letters = {}
+        legend = []
+        for i, op in enumerate(self.operators()):
+            letter = op[0].upper() if op[0].upper() not in letters.values() else chr(
+                ord("a") + i
+            )
+            letters[op] = letter
+            legend.append(f"{letter}={op}")
+        threads = sorted(self.by_thread())
+        lines = [f"makespan: {span * 1000:.2f} ms   " + "  ".join(legend)]
+        for thread in threads:
+            row = [" "] * width
+            for record in self.by_thread()[thread]:
+                lo = int(record.start / span * (width - 1))
+                hi = max(lo + 1, int(record.end / span * (width - 1)))
+                for pos in range(lo, min(hi, width)):
+                    row[pos] = letters[record.operator]
+            lines.append(f"T{thread:<2}|" + "".join(row) + "|")
+        return "\n".join(lines)

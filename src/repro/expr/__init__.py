@@ -1,0 +1,52 @@
+"""Scalar expression subsystem.
+
+Expression trees (:mod:`~repro.expr.nodes`) are shared by the SQL binder, the
+logical plan, the computation graph and every engine. Two evaluators exist:
+
+- :func:`~repro.expr.eval.evaluate` — vectorized over a
+  :class:`~repro.storage.Batch` (used by the LOLEPOP, monolithic and columnar
+  engines);
+- :func:`~repro.expr.eval.evaluate_row` — one Python row at a time (used by
+  the naive row engine, and as the differential-testing oracle).
+
+Scalar functions live in a registry (:mod:`~repro.expr.functions`) with both
+a vector and a scalar implementation plus a return-type rule.
+"""
+
+from .nodes import (
+    Expr,
+    ColumnRef,
+    Literal,
+    BinaryOp,
+    UnaryOp,
+    FuncCall,
+    CaseExpr,
+    InList,
+    IsNull,
+    Cast,
+    col,
+    lit,
+)
+from .eval import evaluate, evaluate_row, infer_dtype, columns_referenced
+from .functions import FUNCTIONS, ScalarFunction
+
+__all__ = [
+    "Expr",
+    "ColumnRef",
+    "Literal",
+    "BinaryOp",
+    "UnaryOp",
+    "FuncCall",
+    "CaseExpr",
+    "InList",
+    "IsNull",
+    "Cast",
+    "col",
+    "lit",
+    "evaluate",
+    "evaluate_row",
+    "infer_dtype",
+    "columns_referenced",
+    "FUNCTIONS",
+    "ScalarFunction",
+]

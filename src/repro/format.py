@@ -1,0 +1,53 @@
+"""Plain-text table rendering for query results."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def format_value(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        text = f"{value:.6f}".rstrip("0").rstrip(".")
+        return text if text not in ("", "-") else "0"
+    return str(value)
+
+
+def format_table(
+    names: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    max_rows: Optional[int] = 50,
+) -> str:
+    """Render rows as an aligned ASCII table (right-align numbers)."""
+    shown = list(rows if max_rows is None else rows[:max_rows])
+    cells = [[format_value(v) for v in row] for row in shown]
+    numeric = [
+        all(
+            isinstance(row[i], (int, float)) or row[i] is None
+            for row in shown
+        )
+        for i in range(len(names))
+    ]
+    widths = [
+        max([len(names[i])] + [len(row[i]) for row in cells] or [0])
+        for i in range(len(names))
+    ]
+
+    def line(parts: List[str]) -> str:
+        padded = [
+            part.rjust(widths[i]) if numeric[i] else part.ljust(widths[i])
+            for i, part in enumerate(parts)
+        ]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = [separator, line(list(names)), separator]
+    for row in cells:
+        out.append(line(row))
+    out.append(separator)
+    if max_rows is not None and len(rows) > max_rows:
+        out.append(f"({len(rows)} rows, showing first {max_rows})")
+    else:
+        out.append(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
+    return "\n".join(out)

@@ -1,0 +1,116 @@
+"""CSV import with schema inference.
+
+``read_csv`` parses a delimited file into ``{column: list-of-values}`` plus
+an inferred :class:`~repro.types.Schema`. Inference tries, per column:
+INT64 → FLOAT64 → DATE (ISO) → BOOL → STRING; empty cells become NULL.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .errors import CatalogError
+from .types import DataType, Field, Schema
+
+_BOOL_TOKENS = {
+    "true": True, "false": False, "t": True, "f": False,
+}
+
+
+def _try_int(text: str) -> Optional[int]:
+    try:
+        return int(text)
+    except ValueError:
+        return None
+
+
+def _try_float(text: str) -> Optional[float]:
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _try_date(text: str) -> Optional[datetime.date]:
+    try:
+        return datetime.date.fromisoformat(text)
+    except ValueError:
+        return None
+
+
+def infer_column_type(values: Sequence[Optional[str]]) -> DataType:
+    """The narrowest type accepting every non-empty cell."""
+    candidates = [DataType.INT64, DataType.FLOAT64, DataType.DATE, DataType.BOOL]
+    for text in values:
+        if text is None or text == "":
+            continue
+        if DataType.INT64 in candidates and _try_int(text) is None:
+            candidates = [c for c in candidates if c is not DataType.INT64]
+        if DataType.FLOAT64 in candidates and _try_float(text) is None:
+            candidates = [c for c in candidates if c is not DataType.FLOAT64]
+        if DataType.DATE in candidates and _try_date(text) is None:
+            candidates = [c for c in candidates if c is not DataType.DATE]
+        if DataType.BOOL in candidates and text.lower() not in _BOOL_TOKENS:
+            candidates = [c for c in candidates if c is not DataType.BOOL]
+        if not candidates:
+            return DataType.STRING
+    for preferred in (DataType.INT64, DataType.FLOAT64, DataType.DATE, DataType.BOOL):
+        if preferred in candidates:
+            return preferred
+    return DataType.STRING
+
+
+def _convert(text: Optional[str], dtype: DataType) -> Any:
+    if text is None or text == "":
+        return None
+    if dtype is DataType.INT64:
+        return int(text)
+    if dtype is DataType.FLOAT64:
+        return float(text)
+    if dtype is DataType.DATE:
+        return datetime.date.fromisoformat(text)
+    if dtype is DataType.BOOL:
+        return _BOOL_TOKENS[text.lower()]
+    return text
+
+
+def read_csv(
+    path: str,
+    schema: Optional[Schema] = None,
+    delimiter: str = ",",
+    header: bool = True,
+) -> Tuple[Schema, Dict[str, List[Any]]]:
+    """Parse ``path``; returns (schema, column data). Without a header the
+    columns are named ``c0, c1, ...``."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = list(reader)
+    if not rows and schema is None:
+        raise CatalogError(f"empty CSV without schema: {path}")
+    if header:
+        names = [name.strip() for name in rows[0]]
+        rows = rows[1:]
+    else:
+        width = len(schema) if schema is not None else len(rows[0])
+        names = [f"c{i}" for i in range(width)]
+    columns: Dict[str, List[Optional[str]]] = {name: [] for name in names}
+    for row in rows:
+        if len(row) != len(names):
+            raise CatalogError(
+                f"CSV row width {len(row)} != header width {len(names)}"
+            )
+        for name, cell in zip(names, row):
+            columns[name].append(cell)
+    if schema is None:
+        schema = Schema(
+            Field(name, infer_column_type(columns[name])) for name in names
+        )
+    data = {
+        field.name: [
+            _convert(cell, field.dtype) for cell in columns[field.name]
+        ]
+        for field in schema
+    }
+    return schema, data

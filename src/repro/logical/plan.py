@@ -1,0 +1,269 @@
+"""Logical plan operators.
+
+Each node knows its output :class:`~repro.types.Schema`. See the package
+docstring for the normalization invariant.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+from ..aggregates import AggregateCall, WindowCall
+from ..errors import PlanError
+from ..expr.eval import infer_dtype
+from ..expr.nodes import ColumnRef, Expr
+from ..types import DataType, Field, Schema
+
+
+class LogicalPlan:
+    """Base class; subclasses set ``schema`` and ``children``."""
+
+    schema: Schema
+    children: List["LogicalPlan"]
+
+    def label(self) -> str:
+        return type(self).__name__.upper()
+
+
+class Scan(LogicalPlan):
+    """Scan of a named base table."""
+
+    def __init__(self, table_name: str, schema: Schema):
+        self.table_name = table_name
+        self.schema = schema
+        self.children = []
+
+    def label(self) -> str:
+        return f"SCAN {self.table_name}"
+
+
+class Filter(LogicalPlan):
+    def __init__(self, child: LogicalPlan, predicate: Expr):
+        self.predicate = predicate
+        self.children = [child]
+        self.schema = child.schema
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    def label(self) -> str:
+        return f"FILTER {self.predicate!r}"
+
+
+class Project(LogicalPlan):
+    """Compute named expressions over the child."""
+
+    def __init__(self, child: LogicalPlan, items: Sequence[Tuple[str, Expr]]):
+        self.items = list(items)
+        self.children = [child]
+        self.schema = Schema(
+            Field(name, infer_dtype(expr, child.schema)) for name, expr in self.items
+        )
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    def label(self) -> str:
+        inner = ", ".join(f"{e!r} AS {n}" for n, e in self.items[:6])
+        more = ", ..." if len(self.items) > 6 else ""
+        return f"PROJECT {inner}{more}"
+
+
+class JoinKind(enum.Enum):
+    INNER = "inner"
+    LEFT = "left"
+    SEMI = "semi"
+    ANTI = "anti"
+
+
+class Join(LogicalPlan):
+    """Equi-join on column names, with optional residual predicate evaluated
+    over the concatenated row."""
+
+    def __init__(
+        self,
+        left: LogicalPlan,
+        right: LogicalPlan,
+        kind: JoinKind,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        residual: Optional[Expr] = None,
+    ):
+        if len(left_keys) != len(right_keys):
+            raise PlanError("join key arity mismatch")
+        self.kind = kind
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.residual = residual
+        self.children = [left, right]
+        if kind in (JoinKind.SEMI, JoinKind.ANTI):
+            self.schema = left.schema
+        else:
+            self.schema = left.schema.concat(right.schema)
+
+    @property
+    def left(self) -> LogicalPlan:
+        return self.children[0]
+
+    @property
+    def right(self) -> LogicalPlan:
+        return self.children[1]
+
+    def label(self) -> str:
+        keys = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
+        return f"{self.kind.value.upper()} JOIN ON {keys}"
+
+
+class Aggregate(LogicalPlan):
+    """GROUP BY with optional grouping sets.
+
+    ``group_names`` is the union of all grouping keys (deterministic order);
+    ``grouping_sets`` lists the key subsets (each a tuple of names drawn from
+    ``group_names``); ``None`` means a single ordinary grouping over
+    ``group_names``. Output schema: group columns (NULL where a grouping set
+    omits a key), then one column per aggregate, then — when grouping sets
+    are present — an INT64 ``grouping_id`` bitmask distinguishing sets.
+    """
+
+    def __init__(
+        self,
+        child: LogicalPlan,
+        group_names: Sequence[str],
+        aggregates: Sequence[AggregateCall],
+        grouping_sets: Optional[Sequence[Tuple[str, ...]]] = None,
+    ):
+        self.group_names = list(group_names)
+        self.aggregates = list(aggregates)
+        self.grouping_sets = (
+            [tuple(gs) for gs in grouping_sets] if grouping_sets is not None else None
+        )
+        self.children = [child]
+        fields = [Field(name, child.schema[name].dtype) for name in self.group_names]
+        for call in self.aggregates:
+            arg_types = [infer_dtype(arg, child.schema) for arg in call.args]
+            fields.append(Field(call.name, call.spec.result_type(arg_types)))
+        if self.grouping_sets is not None:
+            fields.append(Field("grouping_id", DataType.INT64))
+        self.schema = Schema(fields)
+        self._validate(child.schema)
+
+    def _validate(self, child_schema: Schema) -> None:
+        if self.grouping_sets is not None:
+            for gs in self.grouping_sets:
+                for name in gs:
+                    if name not in self.group_names:
+                        raise PlanError(
+                            f"grouping set key {name!r} not in group_names"
+                        )
+        for name in self.group_names:
+            child_schema.index_of(name)
+
+    def grouping_id_of(self, grouping_set: Tuple[str, ...]) -> int:
+        """SQL GROUPING() bitmask: bit i set when group_names[i] is *absent*
+        from the set (bit 0 = last key, matching the standard)."""
+        mask = 0
+        total = len(self.group_names)
+        for position, name in enumerate(self.group_names):
+            if name not in grouping_set:
+                mask |= 1 << (total - 1 - position)
+        return mask
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    def label(self) -> str:
+        aggs = ", ".join(repr(a) for a in self.aggregates)
+        if self.grouping_sets is not None:
+            sets = ", ".join("(" + ", ".join(gs) + ")" for gs in self.grouping_sets)
+            return f"AGGREGATE [{aggs}] GROUPING SETS ({sets})"
+        keys = ", ".join(self.group_names)
+        return f"AGGREGATE [{aggs}] GROUP BY ({keys})"
+
+
+class Window(LogicalPlan):
+    """Evaluate window expressions; output = child columns + one per call."""
+
+    def __init__(self, child: LogicalPlan, calls: Sequence[WindowCall]):
+        self.calls = list(calls)
+        self.children = [child]
+        fields = list(child.schema.fields)
+        for call in self.calls:
+            arg_types = [infer_dtype(arg, child.schema) for arg in call.args]
+            fields.append(Field(call.name, call.spec.result_type(arg_types)))
+        self.schema = Schema(fields)
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    def label(self) -> str:
+        return "WINDOW [" + ", ".join(repr(c) for c in self.calls) + "]"
+
+
+class Sort(LogicalPlan):
+    """ORDER BY over column names."""
+
+    def __init__(self, child: LogicalPlan, keys: Sequence[Tuple[str, bool]]):
+        self.keys = [(name, bool(desc)) for name, desc in keys]
+        self.children = [child]
+        self.schema = child.schema
+        for name, _ in self.keys:
+            child.schema.index_of(name)
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    def label(self) -> str:
+        keys = ", ".join(f"{n}{' DESC' if d else ''}" for n, d in self.keys)
+        return f"SORT BY {keys}"
+
+
+class Limit(LogicalPlan):
+    def __init__(self, child: LogicalPlan, limit: Optional[int], offset: int = 0):
+        self.limit = limit
+        self.offset = offset
+        self.children = [child]
+        self.schema = child.schema
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    def label(self) -> str:
+        parts = []
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        if self.offset:
+            parts.append(f"OFFSET {self.offset}")
+        return " ".join(parts) or "LIMIT ALL"
+
+
+class UnionAll(LogicalPlan):
+    """Bag union of same-typed children (types must match; names come from
+    the first child)."""
+
+    def __init__(self, children: Sequence[LogicalPlan]):
+        if not children:
+            raise PlanError("UNION ALL requires at least one input")
+        self.children = list(children)
+        first = children[0].schema
+        for other in children[1:]:
+            if other.schema.types() != first.types():
+                raise PlanError("UNION ALL inputs have mismatched types")
+        self.schema = first
+
+    def label(self) -> str:
+        return f"UNION ALL ({len(self.children)} inputs)"
+
+
+def explain_plan(plan: LogicalPlan, indent: int = 0) -> str:
+    """ASCII rendering of a logical plan tree."""
+    lines = ["  " * indent + plan.label()]
+    for child in plan.children:
+        lines.append(explain_plan(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""LOLEPOP base classes and the DAG container.
+
+A :class:`Lolepop` consumes the outputs of its input operators — each either
+a *stream* (list of :class:`~repro.storage.Batch`) or a *buffer*
+(:class:`~repro.storage.TupleBuffer`) — and produces one output of either
+kind. Buffers are shared: SORT reorders its input buffer **in place** and
+returns the same object, which is exactly the materialized-state reuse the
+paper is about. Because of that, plans are DAGs with *anti-dependencies*:
+an operator that re-sorts a buffer must run after every consumer of the
+previous ordering. :class:`Dag` tracks those as ``after`` edges and executes
+nodes in a topological order over both data and ordering edges.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..errors import ExecutionError, PlanError
+from ..execution.context import ExecutionContext
+from ..storage.batch import Batch
+from ..storage.buffer import TupleBuffer
+
+OpResult = Union[List[Batch], TupleBuffer]
+
+
+class Lolepop:
+    """Base class for all low-level plan operators."""
+
+    #: 'stream' or 'buffer' — for explain output (Table 1's arrows).
+    consumes = "stream"
+    produces = "stream"
+
+    def __init__(self, inputs: Sequence["Lolepop"] = ()):
+        self.inputs: List[Lolepop] = list(inputs)
+        #: Anti-dependency edges: operators that must run before this one
+        #: even though no data flows between them (buffer reordering).
+        self.after: List[Lolepop] = []
+
+    def name(self) -> str:
+        return type(self).__name__.replace("Op", "").upper()
+
+    def describe(self) -> str:
+        """One-line parameter summary for explain output."""
+        return ""
+
+    def execute(self, ctx: ExecutionContext, inputs: List[OpResult]) -> OpResult:
+        raise NotImplementedError
+
+    def run_after(self, *ops: "Lolepop") -> "Lolepop":
+        self.after.extend(ops)
+        return self
+
+
+class SourceOp(Lolepop):
+    """DAG source: a thunk producing the input stream (the pipeline below
+    the statistics region — scans, filters, joins)."""
+
+    consumes = "-"
+    produces = "stream"
+
+    def __init__(self, thunk: Callable[[], List[Batch]], label: str = "source"):
+        super().__init__()
+        self._thunk = thunk
+        self._label = label
+
+    def name(self) -> str:
+        return "SOURCE"
+
+    def describe(self) -> str:
+        return self._label
+
+    def execute(self, ctx: ExecutionContext, inputs: List[OpResult]) -> OpResult:
+        return self._thunk()
+
+
+class Dag:
+    """An executable DAG of LOLEPOPs with one sink."""
+
+    def __init__(self) -> None:
+        self.nodes: List[Lolepop] = []
+        self.sink: Optional[Lolepop] = None
+
+    def add(self, op: Lolepop) -> Lolepop:
+        if op not in self.nodes:
+            # Inputs must be registered too (tolerate out-of-order adds).
+            for dep in op.inputs:
+                self.add(dep)
+            self.nodes.append(op)
+        return op
+
+    def set_sink(self, op: Lolepop) -> None:
+        self.add(op)
+        self.sink = op
+
+    def replace(self, old: Lolepop, new: Lolepop) -> None:
+        """Splice ``new`` in place of ``old`` everywhere (optimizer passes)."""
+        for node in self.nodes:
+            node.inputs = [new if i is old else i for i in node.inputs]
+            node.after = [new if a is old else a for a in node.after]
+        if self.sink is old:
+            self.sink = new
+        if old in self.nodes:
+            self.nodes.remove(old)
+        if new not in self.nodes:
+            self.add(new)
+
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[Lolepop]:
+        order: List[Lolepop] = []
+        visiting: Dict[int, int] = {}
+
+        def visit(node: Lolepop) -> None:
+            state = visiting.get(id(node), 0)
+            if state == 1:
+                raise PlanError("cycle in LOLEPOP DAG")
+            if state == 2:
+                return
+            visiting[id(node)] = 1
+            for dep in list(node.inputs) + list(node.after):
+                visit(dep)
+            visiting[id(node)] = 2
+            order.append(node)
+
+        if self.sink is None:
+            raise PlanError("DAG has no sink")
+        visit(self.sink)
+        return order
+
+    def execute(self, ctx: ExecutionContext) -> OpResult:
+        """Run the DAG; each operator's execution is one or more pipeline
+        phases of the simulated scheduler."""
+        results: Dict[int, OpResult] = {}
+        for node in self.topological_order():
+            ctx.next_phase()
+            inputs = [results[id(dep)] for dep in node.inputs]
+            results[id(node)] = node.execute(ctx, inputs)
+        return results[id(self.sink)]
+
+    # ------------------------------------------------------------------
+    def explain(self) -> str:
+        """Stable ASCII rendering (used by plan-shape golden tests)."""
+        order = self.topological_order()
+        ids = {id(node): i for i, node in enumerate(order)}
+        lines = []
+        for node in order:
+            deps = ",".join(f"#{ids[id(i)]}" for i in node.inputs)
+            extra = f" [{node.describe()}]" if node.describe() else ""
+            arrow = f" ({node.consumes}->{node.produces})"
+            after = (
+                "  after " + ",".join(f"#{ids[id(a)]}" for a in node.after)
+                if node.after
+                else ""
+            )
+            lines.append(
+                f"#{ids[id(node)]} {node.name()}{extra}{arrow}"
+                + (f" <- {deps}" if deps else "")
+                + after
+            )
+        return "\n".join(lines)
+
+    def operator_names(self) -> List[str]:
+        return [node.name() for node in self.topological_order()]

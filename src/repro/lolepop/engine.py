@@ -1,0 +1,158 @@
+"""The LOLEPOP query engine (the paper's Umbra-integrated approach).
+
+Executes bound logical plans by running the relational fragment through
+:class:`~repro.relational.RelationalExecutor` and translating every
+statistics region (Aggregate / Window / Sort / Limit) into a LOLEPOP DAG
+via :func:`~repro.lolepop.translate.translate_statistics`. Nested regions
+(aggregates over aggregating subqueries) recurse naturally: a region's
+SOURCE thunk re-enters the engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ExecutionError
+from ..execution.context import EngineConfig, ExecutionContext
+from ..execution.trace import ExecutionTrace
+from ..logical import Aggregate, Limit, LogicalPlan, Sort, Window
+from ..relational.executor import RelationalExecutor
+from ..storage.batch import Batch
+from ..storage.buffer import TupleBuffer
+from ..storage.table import Catalog
+from .base import Dag
+from .translate import translate_statistics
+
+
+class QueryResult:
+    """The outcome of one query execution."""
+
+    def __init__(
+        self,
+        batch: Batch,
+        serial_time: float,
+        simulated_time: float,
+        trace: Optional[ExecutionTrace],
+        dags: List[Dag],
+    ):
+        #: All output rows as one batch.
+        self.batch = batch
+        #: Total measured single-threaded work (seconds).
+        self.serial_time = serial_time
+        #: List-scheduled makespan on the configured thread count (seconds).
+        self.simulated_time = simulated_time
+        self.trace = trace
+        #: Every LOLEPOP DAG built during execution (top region first... in
+        #: construction order).
+        self.dags = dags
+
+    @property
+    def schema(self):
+        return self.batch.schema
+
+    def rows(self):
+        return list(self.batch.rows())
+
+    def to_pydict(self):
+        return self.batch.to_pydict()
+
+    def operator_summary(self):
+        """Per-operator (total work seconds, work-item count) from the
+        execution trace; requires ``collect_trace=True`` in the config."""
+        if self.trace is None:
+            raise ExecutionError(
+                "no trace collected; run with EngineConfig(collect_trace=True)"
+            )
+        out = {}
+        for record in self.trace.records:
+            work, count = out.get(record.operator, (0.0, 0))
+            out[record.operator] = (work + record.duration, count + 1)
+        return out
+
+    def pretty(self, max_rows=50) -> str:
+        """The result as an aligned ASCII table."""
+        from ..format import format_table
+
+        return format_table(self.schema.names(), self.rows(), max_rows)
+
+    def __len__(self) -> int:
+        return len(self.batch)
+
+
+class LolepopEngine:
+    """Executes logical plans using LOLEPOP DAGs for all statistics."""
+
+    name = "lolepop"
+
+    def __init__(self, catalog: Catalog, config: Optional[EngineConfig] = None):
+        self.catalog = catalog
+        self.config = config or EngineConfig()
+
+    # ------------------------------------------------------------------
+    def run(self, plan: LogicalPlan) -> QueryResult:
+        runner = _Runner(self.catalog, self.config)
+        try:
+            batches = runner.execute_stream(plan)
+            batch = (
+                Batch.concat(batches) if batches else Batch.empty(plan.schema)
+            )
+        finally:
+            runner.ctx.cleanup()
+        return QueryResult(
+            batch,
+            runner.ctx.serial_time,
+            runner.ctx.simulated_time,
+            runner.ctx.trace,
+            runner.dags,
+        )
+
+    def explain(self, plan: LogicalPlan) -> str:
+        """Translate the topmost statistics region without executing it and
+        render the DAG (golden-test hook)."""
+        node = plan
+        from ..logical import Filter, Project
+
+        while isinstance(node, (Project, Filter)):
+            node = node.children[0]
+        if not isinstance(node, (Aggregate, Window, Sort, Limit)):
+            return "(no statistics region)"
+        dag = translate_statistics(node, lambda p: [], self.config)
+        return dag.explain()
+
+
+class _Runner:
+    """Per-query execution state."""
+
+    def __init__(self, catalog: Catalog, config: EngineConfig):
+        self.catalog = catalog
+        self.ctx = ExecutionContext(config)
+        self.dags: List[Dag] = []
+        self._estimator = None
+        self._relational = RelationalExecutor(
+            catalog, self.ctx, stats_handler=self._handle_statistics
+        )
+
+    def execute_stream(self, plan: LogicalPlan) -> List[Batch]:
+        return self._relational.execute(plan)
+
+    @property
+    def estimator(self):
+        """Lazily built cardinality estimator (cost-based decisions only)."""
+        if self._estimator is None and self.ctx.config.cost_based_distinct:
+            from ..logical.cardinality import CardinalityEstimator
+            from ..stats import StatisticsCache
+
+            self._estimator = CardinalityEstimator(
+                StatisticsCache(self.catalog)
+            )
+        return self._estimator
+
+    def _handle_statistics(self, plan: LogicalPlan) -> List[Batch]:
+        dag = translate_statistics(
+            plan, self.execute_stream, self.ctx.config, self.estimator
+        )
+        self.dags.append(dag)
+        result = dag.execute(self.ctx)
+        if isinstance(result, TupleBuffer):
+            return result.scan_batches()
+        return result

@@ -1,0 +1,87 @@
+"""DAG optimization passes (step E of Figure 2).
+
+Several of the paper's step-E decisions are made during construction
+(buffer reuse, aggregation-strategy selection, producer ordering via
+``after`` edges) or at runtime (sort elision when the buffer's ordering
+already has the required prefix; sort-mode selection by tuple width). The
+passes here operate on the built DAG:
+
+- :func:`remove_redundant_combines` — a join-mode COMBINE with a single
+  producer is the identity and is spliced out (Figure 1's COMBINE(d,c)).
+- :func:`elide_redundant_sorts` — a SORT whose buffer already carries the
+  required ordering as a prefix is removed statically, simulating buffer
+  state along the DAG's execution order (the MSSD plan's group-key sort,
+  Figure 3 plan 5). A runtime check in SortOp covers anything this static
+  pass cannot prove.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..execution.context import EngineConfig
+from .base import Dag, Lolepop
+from .combine_op import CombineOp
+from .partition_op import PartitionOp
+from .sort_op import SortOp
+from .window_op import WindowOp
+
+
+def optimize(dag: Dag, config: EngineConfig) -> None:
+    """Run all enabled passes in place."""
+    if config.elide_sorts:
+        elide_redundant_sorts(dag)
+    if config.remove_redundant_combines:
+        remove_redundant_combines(dag)
+
+
+def remove_redundant_combines(dag: Dag) -> None:
+    """Splice out join-mode COMBINE operators with exactly one input."""
+    for node in list(dag.nodes):
+        if (
+            isinstance(node, CombineOp)
+            and node.mode == "join"
+            and len(node.inputs) == 1
+        ):
+            dag.replace(node, node.inputs[0])
+
+
+def _buffer_root(node: Lolepop, memo: Dict[int, Optional[Lolepop]]) -> Optional[Lolepop]:
+    """The operator that *owns* the buffer a SORT/WINDOW operates on (buffers
+    flow through SORT and WINDOW unchanged; PARTITION/MERGE create them)."""
+    if id(node) in memo:
+        return memo[id(node)]
+    if isinstance(node, PartitionOp):
+        root: Optional[Lolepop] = node
+    elif isinstance(node, (SortOp, WindowOp)) and node.inputs:
+        root = _buffer_root(node.inputs[0], memo)
+    else:
+        root = node
+    memo[id(node)] = root
+    return root
+
+
+def elide_redundant_sorts(dag: Dag) -> None:
+    """Remove SORT operators whose requirement is a prefix of the buffer's
+    ordering at that point of the (topological) execution order."""
+    memo: Dict[int, Optional[Lolepop]] = {}
+    ordering_state: Dict[int, Tuple] = {}
+    for node in dag.topological_order():
+        if not isinstance(node, SortOp):
+            continue
+        root = _buffer_root(node, memo)
+        if root is None:
+            continue
+        current = ordering_state.get(id(root), ())
+        required = tuple(node.keys)
+        satisfied = len(required) <= len(current) and (
+            tuple(current[: len(required)]) == required
+        )
+        if satisfied:
+            # Consumers inherit the sort's anti-dependencies.
+            for other in dag.nodes:
+                if node in other.inputs:
+                    other.after.extend(node.after)
+            dag.replace(node, node.inputs[0])
+        else:
+            ordering_state[id(root)] = required

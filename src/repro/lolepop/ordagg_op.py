@@ -1,0 +1,211 @@
+"""ORDAGG — aggregate sorted key ranges (Table 1, §4.3).
+
+Consumes a buffer partitioned by (a subset of) the group keys and sorted by
+``(group keys..., value order)``; produces one output row per key range
+without any hash table — the paper's central saving when ordered-set
+aggregates force sorting anyway.
+
+Supports, per task:
+
+- associative aggregates over ranges (SUM/COUNT/MIN/MAX/ANY/...),
+- the same with ``distinct=True``, skipping duplicates positionally (valid
+  only when the buffer is sorted by the task's argument — the paper's
+  "duplicate-sensitive ORDAGG"),
+- ordered-set aggregates (``percentile_disc``/``percentile_cont``) computed
+  positionally on the sorted range (NULLs sort last, so the valid prefix is
+  contiguous).
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..execution.context import ExecutionContext
+from ..relational.kernels import grouped_reduce, is_associative
+from ..storage.batch import Batch
+from ..storage.buffer import TupleBuffer
+from ..storage.column import Column
+from ..types import DataType, Field, Schema
+from .base import Lolepop, OpResult
+from .ranges import key_change_flags, ranges_of
+
+
+class OrdAggTask(NamedTuple):
+    name: str
+    func: str
+    arg: Optional[str]
+    fraction: Optional[float] = None
+    distinct: bool = False
+
+
+class OrdAggOp(Lolepop):
+    consumes = "buffer"
+    produces = "stream"
+
+    def __init__(
+        self,
+        input_op: Lolepop,
+        key_names: Sequence[str],
+        tasks: Sequence[OrdAggTask],
+    ):
+        super().__init__([input_op])
+        self.key_names = list(key_names)
+        self.tasks = list(tasks)
+
+    def describe(self) -> str:
+        aggs = ", ".join(
+            f"{t.func}({'distinct ' if t.distinct else ''}{t.arg or '*'}"
+            + (f", {t.fraction}" if t.fraction is not None else "")
+            + ")"
+            for t in self.tasks
+        )
+        keys = ",".join(self.key_names)
+        return f"[{aggs}] by ({keys})"
+
+    # ------------------------------------------------------------------
+    def output_schema(self, input_schema: Schema) -> Schema:
+        fields = [Field(n, input_schema[n].dtype) for n in self.key_names]
+        for task in self.tasks:
+            if task.func in ("count", "count_star"):
+                dtype = DataType.INT64
+            elif task.func == "percentile_cont":
+                dtype = DataType.FLOAT64
+            elif task.arg is not None:
+                dtype = input_schema[task.arg].dtype
+            else:
+                dtype = DataType.INT64
+            fields.append(Field(task.name, dtype))
+        return Schema(fields)
+
+    # ------------------------------------------------------------------
+    def execute(self, ctx: ExecutionContext, inputs: List[OpResult]) -> OpResult:
+        buffer: TupleBuffer = inputs[0]
+        out_schema = self.output_schema(buffer.schema)
+        partitions = [p for p in buffer.partitions if p.num_rows]
+
+        def aggregate_one(partition) -> Batch:
+            was_spilled = partition.is_spilled
+            result = self._aggregate_partition(
+                partition.ordered_batch(), out_schema
+            )
+            if buffer.spilling and was_spilled:
+                partition.spill(buffer.spill_manager)
+            return result
+
+        results = ctx.parallel_for(
+            "ordagg", partitions, aggregate_one, splittable=True
+        )
+        outputs = [b for b in results if len(b)]
+        return outputs or [Batch.empty(out_schema)]
+
+    # ------------------------------------------------------------------
+    def _aggregate_partition(self, batch: Batch, out_schema: Schema) -> Batch:
+        starts, ends, codes = ranges_of(batch, self.key_names)
+        num_groups = len(starts)
+        if num_groups == 0:
+            return Batch.empty(out_schema)
+        columns: List[Column] = [
+            batch.column(name).take(starts) for name in self.key_names
+        ]
+        for task in self.tasks:
+            if task.func in ("percentile_disc", "percentile_cont"):
+                columns.append(
+                    self._percentile(task, batch, starts, codes, num_groups)
+                )
+            elif task.func == "mode":
+                columns.append(
+                    self._mode(task, batch, codes, num_groups)
+                )
+            elif task.distinct:
+                columns.append(
+                    self._distinct_associative(task, batch, codes, num_groups)
+                )
+            elif is_associative(task.func):
+                values = (
+                    batch.column(task.arg) if task.arg is not None else None
+                )
+                columns.append(
+                    grouped_reduce(task.func, values, codes, num_groups)
+                )
+            else:
+                raise ExecutionError(f"ORDAGG cannot compute {task.func}")
+        return Batch(out_schema, columns)
+
+    def _distinct_associative(
+        self, task: OrdAggTask, batch: Batch, codes: np.ndarray, num_groups: int
+    ) -> Column:
+        """Duplicate-skipping aggregation on sorted ranges: a row contributes
+        only if its (keys, arg) differ from the previous row's."""
+        arg = batch.column(task.arg)
+        first = key_change_flags(
+            [batch.column(name) for name in self.key_names] + [arg]
+        )
+        keep = first & arg.valid_mask()
+        filtered = arg.filter(keep)
+        return grouped_reduce(task.func, filtered, codes[keep], num_groups)
+
+    def _mode(
+        self, task: OrdAggTask, batch: Batch, codes: np.ndarray, num_groups: int
+    ) -> Column:
+        """Most frequent value per key range: the longest run of equal
+        values in the sorted range; ties resolve to the run appearing first
+        in the WITHIN GROUP order."""
+        arg = batch.column(task.arg)
+        valid = arg.valid_mask()
+        flags = key_change_flags(
+            [batch.column(name) for name in self.key_names] + [arg]
+        )
+        run_starts = np.flatnonzero(flags)
+        run_ends = np.append(run_starts[1:], len(batch))
+        run_lengths = (run_ends - run_starts).astype(np.int64)
+        run_codes = codes[run_starts]
+        keep = valid[run_starts]  # runs of NULLs do not vote
+        run_starts, run_lengths, run_codes = (
+            run_starts[keep], run_lengths[keep], run_codes[keep]
+        )
+        group_valid = np.zeros(num_groups, dtype=bool)
+        if arg.dtype is DataType.STRING:
+            values = np.full(num_groups, "", dtype=object)
+        else:
+            values = np.zeros(num_groups, dtype=arg.dtype.numpy_dtype)
+        if len(run_starts):
+            # (code asc, length desc, position asc): the first row per code
+            # is the winning run.
+            order = np.lexsort((run_starts, -run_lengths, run_codes))
+            winners_codes = run_codes[order]
+            present, first = np.unique(winners_codes, return_index=True)
+            winner_rows = run_starts[order][first]
+            values[present] = arg.values[winner_rows]
+            group_valid[present] = True
+        return Column(arg.dtype, values, group_valid)
+
+    def _percentile(
+        self,
+        task: OrdAggTask,
+        batch: Batch,
+        starts: np.ndarray,
+        codes: np.ndarray,
+        num_groups: int,
+    ) -> Column:
+        arg = batch.column(task.arg)
+        valid = arg.valid_mask()
+        counts = np.bincount(codes[valid], minlength=num_groups)
+        group_valid = counts > 0
+        fraction = task.fraction if task.fraction is not None else 0.5
+        safe_counts = np.maximum(counts, 1)
+        if task.func == "percentile_disc":
+            offsets = np.ceil(fraction * safe_counts).astype(np.int64) - 1
+            offsets = np.clip(offsets, 0, safe_counts - 1)
+            gathered = arg.take(starts + offsets)
+            return Column(arg.dtype, gathered.values, group_valid)
+        positions = fraction * (safe_counts - 1)
+        lower = np.floor(positions).astype(np.int64)
+        upper = np.ceil(positions).astype(np.int64)
+        weights = positions - lower
+        low_vals = arg.values[starts + lower].astype(np.float64)
+        high_vals = arg.values[starts + upper].astype(np.float64)
+        values = low_vals * (1.0 - weights) + high_vals * weights
+        return Column(DataType.FLOAT64, values, group_valid)

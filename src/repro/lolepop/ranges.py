@@ -1,0 +1,53 @@
+"""Key-range detection over sorted batches.
+
+ORDAGG and WINDOW aggregate *key ranges*: maximal runs of equal key values
+in a sorted partition. This module computes the run boundaries vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..storage.batch import Batch
+from ..storage.column import Column
+from ..storage.keys import _normalize_values
+
+
+def key_change_flags(columns: Sequence[Column]) -> np.ndarray:
+    """Boolean array: True at row i when row i's keys differ from row i-1's.
+
+    Row 0 is always True. NULL keys compare equal to NULL (GROUP BY
+    semantics)."""
+    n = len(columns[0]) if columns else 0
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    flags = np.zeros(n, dtype=bool)
+    flags[0] = True
+    for column in columns:
+        values = _normalize_values(column)
+        flags[1:] |= values[1:] != values[:-1]
+    return flags
+
+
+def ranges_of(
+    batch: Batch, key_names: Sequence[str]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(starts, ends, codes): half-open run boundaries and per-row run ids.
+
+    With no key columns the whole batch is one range.
+    """
+    n = len(batch)
+    if not key_names:
+        starts = np.array([0], dtype=np.int64)
+        ends = np.array([n], dtype=np.int64)
+        return starts, ends, np.zeros(n, dtype=np.int64)
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    flags = key_change_flags([batch.column(name) for name in key_names])
+    starts = np.flatnonzero(flags).astype(np.int64)
+    ends = np.append(starts[1:], n).astype(np.int64)
+    codes = np.cumsum(flags) - 1
+    return starts, ends, codes.astype(np.int64)

@@ -1,0 +1,90 @@
+"""SCAN — stream a materialized buffer to consumers (Table 1).
+
+Scans partitions in order (honoring permutation vectors through the
+buffer's ordered access path) and optionally applies a projection while
+streaming — the runtime analogue of the paper inlining expression evaluation
+into generated scan loops. A LIMIT/OFFSET hint stops the scan early.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..execution.context import ExecutionContext
+from ..expr.eval import evaluate
+from ..expr.nodes import Expr
+from ..storage.batch import Batch
+from ..storage.buffer import TupleBuffer
+from ..types import Schema
+from .base import Lolepop, OpResult
+
+
+class ScanOp(Lolepop):
+    consumes = "buffer"
+    produces = "stream"
+
+    def __init__(
+        self,
+        input_op: Lolepop,
+        project: Optional[Sequence[Tuple[str, Expr]]] = None,
+        project_schema: Optional[Schema] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ):
+        super().__init__([input_op])
+        self.project = list(project) if project is not None else None
+        self.project_schema = project_schema
+        self.limit = limit
+        self.offset = offset
+
+    def describe(self) -> str:
+        parts = []
+        if self.project is not None:
+            parts.append(f"project {len(self.project)} exprs")
+        if self.limit is not None or self.offset:
+            parts.append(f"limit {self.limit} offset {self.offset}")
+        return ", ".join(parts)
+
+    def execute(self, ctx: ExecutionContext, inputs: List[OpResult]) -> OpResult:
+        source = inputs[0]
+        if isinstance(source, TupleBuffer):
+            batches = [p.ordered_batch() for p in source.partitions if p.num_rows]
+            if not batches:
+                batches = [Batch.empty(source.schema)]
+        else:
+            batches = source
+
+        def scan_one(batch: Batch) -> Batch:
+            if self.project is not None:
+                columns = [evaluate(expr, batch) for _, expr in self.project]
+                batch = Batch(self.project_schema, columns)
+            return batch
+
+        outputs = ctx.parallel_for("scan", batches, scan_one)
+        outputs = [b for b in outputs if len(b)] or [outputs[0]]
+        if self.offset or self.limit is not None:
+            outputs = _apply_limit(outputs, self.limit, self.offset)
+        return outputs
+
+
+def _apply_limit(
+    batches: List[Batch], limit: Optional[int], offset: int
+) -> List[Batch]:
+    out: List[Batch] = []
+    skip = offset
+    remaining = limit
+    for batch in batches:
+        if skip >= len(batch):
+            skip -= len(batch)
+            continue
+        piece = batch.slice(skip, len(batch))
+        skip = 0
+        if remaining is not None:
+            if remaining <= 0:
+                break
+            piece = piece.slice(0, min(remaining, len(piece)))
+            remaining -= len(piece)
+        out.append(piece)
+        if remaining == 0:
+            break
+    return out or [batches[0].slice(0, 0)]

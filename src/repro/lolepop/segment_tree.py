@@ -1,0 +1,128 @@
+"""Segment trees for associative window aggregation.
+
+The WINDOW operator evaluates associative aggregates over sliding ROWS
+frames using precomputed range-aggregation structures (Leis et al. [24]).
+Two implementations:
+
+- :class:`SegmentTree` — the classic pointer-free array segment tree with
+  per-query O(log n) lookups. Used as the reference implementation in
+  property tests.
+- :class:`SparseTable` — a doubling table answering *all* rows' range
+  queries vectorized in O(n log n) build / O(n) batched query, which is the
+  shape CPython needs. Only valid for idempotent operations (min/max);
+  sums use prefix sums instead (exact O(1) ranges).
+
+Both aggregate NULL-free float arrays; the WINDOW operator handles NULL
+masking by aggregating a parallel 0/1 validity array with ``sum``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+_OPS = {
+    "sum": (np.add, 0.0),
+    "min": (np.minimum, np.inf),
+    "max": (np.maximum, -np.inf),
+}
+
+
+class SegmentTree:
+    """Classic bottom-up array segment tree over a fixed value array."""
+
+    def __init__(self, values: np.ndarray, op: str):
+        if op not in _OPS:
+            raise ExecutionError(f"unsupported segment tree operation: {op}")
+        self._ufunc, self._identity = _OPS[op]
+        self.op = op
+        self.n = len(values)
+        size = 1
+        while size < max(self.n, 1):
+            size *= 2
+        self._size = size
+        self._tree = np.full(2 * size, self._identity, dtype=np.float64)
+        self._tree[size : size + self.n] = values.astype(np.float64)
+        for i in range(size - 1, 0, -1):
+            self._tree[i] = self._ufunc(self._tree[2 * i], self._tree[2 * i + 1])
+
+    def query(self, lo: int, hi: int) -> float:
+        """Aggregate of values[lo:hi]; identity for empty ranges."""
+        if lo >= hi:
+            return self._identity
+        result = self._identity
+        lo += self._size
+        hi += self._size
+        while lo < hi:
+            if lo & 1:
+                result = self._ufunc(result, self._tree[lo])
+                lo += 1
+            if hi & 1:
+                hi -= 1
+                result = self._ufunc(result, self._tree[hi])
+            lo //= 2
+            hi //= 2
+        return float(result)
+
+
+class SparseTable:
+    """Doubling table for idempotent range queries (min/max), with fully
+    vectorized batched queries."""
+
+    def __init__(self, values: np.ndarray, op: str):
+        if op not in ("min", "max"):
+            raise ExecutionError("SparseTable supports min/max only")
+        self._ufunc = np.minimum if op == "min" else np.maximum
+        self._identity = np.inf if op == "min" else -np.inf
+        data = values.astype(np.float64)
+        self.n = len(data)
+        self._levels: List[np.ndarray] = [data]
+        length = 1
+        while 2 * length <= self.n:
+            prev = self._levels[-1]
+            self._levels.append(self._ufunc(prev[:-length], prev[length:]))
+            length *= 2
+
+    def query_many(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """values[lo_i:hi_i] aggregated, vectorized over all i. Empty ranges
+        yield the identity."""
+        lo = np.asarray(lo, dtype=np.int64)
+        hi = np.asarray(hi, dtype=np.int64)
+        width = hi - lo
+        out = np.full(len(lo), self._identity, dtype=np.float64)
+        nonempty = width > 0
+        if not nonempty.any():
+            return out
+        w = width[nonempty]
+        levels = np.floor(np.log2(w)).astype(np.int64)
+        levels = np.clip(levels, 0, len(self._levels) - 1)
+        left = lo[nonempty]
+        right = hi[nonempty] - (1 << levels)
+        # Gather per level (few distinct levels, loop over them).
+        result = np.empty(len(w), dtype=np.float64)
+        for level in np.unique(levels):
+            mask = levels == level
+            table = self._levels[level]
+            result[mask] = self._ufunc(
+                table[left[mask]], table[np.maximum(right[mask], left[mask])]
+            )
+        out[nonempty] = result
+        return out
+
+
+class PrefixSums:
+    """Exact O(1) range sums/counts via prefix arrays."""
+
+    def __init__(self, values: np.ndarray):
+        self._prefix = np.concatenate(
+            ([0.0], np.cumsum(values.astype(np.float64)))
+        )
+
+    def query_many(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        lo = np.asarray(lo, dtype=np.int64)
+        hi = np.asarray(hi, dtype=np.int64)
+        hi = np.maximum(hi, lo)
+        return self._prefix[hi] - self._prefix[lo]

@@ -1,0 +1,93 @@
+"""SORT — sort every hash partition of a buffer (Table 1).
+
+Operates *in place* on its input buffer and returns the same object; the
+paper's morsel-driven BlockQuicksort is modeled by marking the per-partition
+sort work items as splittable (DESIGN.md §4 item 2). Two access paths match
+§4.2: physical reordering of the compacted chunk, or a *permutation vector*
+(indices + copied key columns) for wide tuples.
+
+Sort elision (optimizer step E): when the buffer's existing ordering already
+has the required ordering as a prefix, the sort is a no-op.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..execution.context import ExecutionContext
+from ..storage.buffer import TupleBuffer
+from .base import Lolepop, OpResult
+
+#: Tuples at least this wide (columns) sort via permutation vectors.
+PERMUTATION_WIDTH_THRESHOLD = 8
+
+
+class SortOp(Lolepop):
+    consumes = "buffer"
+    produces = "buffer"
+
+    def __init__(
+        self,
+        input_op: Lolepop,
+        keys: Sequence[Tuple[str, bool]],
+        mode: str = "auto",
+    ):
+        super().__init__([input_op])
+        self.keys = [(name, bool(desc)) for name, desc in keys]
+        #: 'inplace', 'permutation', or 'auto' (pick by tuple width)
+        self.mode = mode
+
+    def describe(self) -> str:
+        keys = ",".join(f"{n}{' desc' if d else ''}" for n, d in self.keys)
+        return keys + ("" if self.mode == "auto" else f" [{self.mode}]")
+
+    def _resolve_mode(self, buffer: TupleBuffer, ctx: ExecutionContext) -> str:
+        if self.mode != "auto":
+            return self.mode
+        if not ctx.config.permutation_vectors:
+            return "inplace"
+        wide = len(buffer.schema) >= PERMUTATION_WIDTH_THRESHOLD
+        return "permutation" if wide else "inplace"
+
+    def execute(self, ctx: ExecutionContext, inputs: List[OpResult]) -> OpResult:
+        buffer: TupleBuffer = inputs[0]
+        required = tuple(self.keys)
+        if ctx.config.elide_sorts and buffer.ordering_satisfies(required):
+            return buffer
+        key_names = [name for name, _ in self.keys]
+        descending = [desc for _, desc in self.keys]
+        mode = self._resolve_mode(buffer, ctx)
+        # How many leading keys the buffer is already ordered by (a prior
+        # in-place SORT of the same buffer): a re-sort then only needs a
+        # suffix sort per key range.
+        prefix = 0
+        if ctx.config.elide_sorts:
+            existing = buffer.ordered_by
+            while (
+                prefix < len(self.keys)
+                and prefix < len(existing)
+                and existing[prefix] == self.keys[prefix]
+            ):
+                prefix += 1
+
+        def sort_partition(partition) -> None:
+            # The fast path requires the previous order to be physical (and
+            # spilled partitions were stored in logical order).
+            was_spilled = partition.is_spilled
+            usable_prefix = prefix if partition.permutation is None else 0
+            if mode == "permutation" and not buffer.spilling:
+                partition.sort_permutation(key_names, descending, usable_prefix)
+            else:
+                partition.sort_inplace(key_names, descending, usable_prefix)
+            if buffer.spilling and was_spilled:
+                # Partition-at-a-time processing: write back and release.
+                partition.spill(buffer.spill_manager)
+
+        ctx.parallel_for(
+            "sort",
+            [p for p in buffer.partitions if p.num_rows > 1],
+            sort_partition,
+            splittable=True,
+        )
+        buffer.set_ordering(required)
+        return buffer

@@ -1,0 +1,195 @@
+"""Interactive SQL shell.
+
+``python -m repro`` starts a REPL against an in-memory database. Dot
+commands:
+
+    .help                      this text
+    .tables                    list tables
+    .schema <table>            show a table's columns
+    .load tpch [SF]            generate and load TPC-H tables
+    .engine [name]             show or switch the engine
+    .threads <n>               set the simulated thread count
+    .explain <sql>             show the logical plan
+    .lolepop <sql>             show the LOLEPOP DAG
+    .trace <sql>               run with trace collection and render it
+    .profile <sql>             per-operator work breakdown
+    .timing on|off             toggle per-query timing output
+    .quit                      exit
+
+Everything else is executed as SQL (terminate with ``;`` or a newline).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from .api import Database
+from .errors import ReproError
+from .execution.context import EngineConfig
+from .format import format_table
+
+
+class Shell:
+    """Stateful command processor; the REPL loop feeds it lines."""
+
+    def __init__(self, database: Optional[Database] = None, out=None):
+        self.db = database or Database()
+        self.engine = "lolepop"
+        self.threads = 4
+        self.timing = True
+        self.out = out or sys.stdout
+
+    # ------------------------------------------------------------------
+    def write(self, text: str) -> None:
+        print(text, file=self.out)
+
+    def execute_line(self, line: str) -> bool:
+        """Process one input line; returns False when the shell should
+        exit."""
+        line = line.strip().rstrip(";").strip()
+        if not line:
+            return True
+        if line.startswith("."):
+            return self._dot_command(line)
+        self._run_sql(line)
+        return True
+
+    # ------------------------------------------------------------------
+    def _dot_command(self, line: str) -> bool:
+        parts = line.split(None, 1)
+        command = parts[0]
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if command in (".quit", ".exit"):
+            return False
+        if command == ".help":
+            self.write(__doc__ or "")
+        elif command == ".tables":
+            names = sorted(self.db.catalog.names())
+            self.write("\n".join(names) if names else "(no tables)")
+        elif command == ".schema":
+            try:
+                table = self.db.table(argument)
+            except ReproError as error:
+                self.write(f"error: {error}")
+                return True
+            for field in table.schema:
+                self.write(f"  {field.name:<24} {field.dtype.value}")
+            self.write(f"  ({table.num_rows} rows)")
+        elif command == ".load":
+            self._load(argument)
+        elif command == ".engine":
+            if argument:
+                if argument not in ("lolepop", "monolithic", "naive", "columnar"):
+                    self.write(f"unknown engine: {argument}")
+                else:
+                    self.engine = argument
+            self.write(f"engine: {self.engine}")
+        elif command == ".threads":
+            try:
+                self.threads = max(1, int(argument))
+            except ValueError:
+                self.write("usage: .threads <n>")
+            self.write(f"threads: {self.threads}")
+        elif command == ".timing":
+            self.timing = argument.lower() != "off"
+            self.write(f"timing: {'on' if self.timing else 'off'}")
+        elif command == ".explain":
+            self._guarded(lambda: self.write(self.db.explain(argument)))
+        elif command == ".lolepop":
+            self._guarded(lambda: self.write(self.db.explain_lolepop(argument)))
+        elif command == ".trace":
+            self._trace(argument)
+        elif command == ".profile":
+            self._profile(argument)
+        else:
+            self.write(f"unknown command: {command} (try .help)")
+        return True
+
+    def _load(self, argument: str) -> None:
+        parts = argument.split()
+        if not parts or parts[0] != "tpch":
+            self.write("usage: .load tpch [scale-factor]")
+            return
+        scale = float(parts[1]) if len(parts) > 1 else 0.01
+        from .tpch import populate_database
+
+        populate_database(self.db, scale_factor=scale)
+        self.write(
+            f"loaded TPC-H at SF {scale} "
+            f"({self.db.table('lineitem').num_rows} lineitem rows)"
+        )
+
+    def _config(self, collect_trace: bool = False) -> EngineConfig:
+        return EngineConfig(
+            num_threads=self.threads, collect_trace=collect_trace
+        )
+
+    def _guarded(self, action) -> None:
+        try:
+            action()
+        except ReproError as error:
+            self.write(f"error: {error}")
+
+    def _run_sql(self, sql: str) -> None:
+        try:
+            result = self.db.sql(sql, engine=self.engine, config=self._config())
+        except ReproError as error:
+            self.write(f"error: {error}")
+            return
+        self.write(
+            format_table(result.schema.names(), result.rows())
+        )
+        if self.timing:
+            self.write(
+                f"work {result.serial_time * 1000:.2f} ms, "
+                f"simulated {self.threads}-thread makespan "
+                f"{result.simulated_time * 1000:.2f} ms [{self.engine}]"
+            )
+
+    def _profile(self, sql: str) -> None:
+        try:
+            result = self.db.sql(
+                sql, engine=self.engine, config=self._config(collect_trace=True)
+            )
+        except ReproError as error:
+            self.write(f"error: {error}")
+            return
+        for operator, (work, count) in sorted(
+            result.operator_summary().items(), key=lambda kv: -kv[1][0]
+        ):
+            self.write(
+                f"  {operator:<16} {work * 1000:10.3f} ms  ({count} work items)"
+            )
+
+    def _trace(self, sql: str) -> None:
+        try:
+            result = self.db.sql(
+                sql, engine=self.engine, config=self._config(collect_trace=True)
+            )
+        except ReproError as error:
+            self.write(f"error: {error}")
+            return
+        self.write(result.trace.render(width=100))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """REPL entry point (``python -m repro``)."""
+    shell = Shell()
+    shell.write("repro — LOLEPOP SQL engine. Type .help for commands.")
+    try:
+        while True:
+            try:
+                line = input("repro> ")
+            except EOFError:
+                break
+            if not shell.execute_line(line):
+                break
+    except KeyboardInterrupt:
+        pass
+    shell.write("bye")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

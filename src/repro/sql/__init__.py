@@ -1,0 +1,20 @@
+"""SQL frontend: lexer → parser → binder.
+
+The supported dialect covers the full surface the paper's evaluation needs:
+SELECT with expressions, every aggregate flavor (associative, DISTINCT,
+ordered-set via ``WITHIN GROUP``), window functions with ROWS frames,
+GROUPING SETS / ROLLUP / CUBE, WITH (CTEs), derived tables, INNER / LEFT /
+SEMI / ANTI joins, HAVING, ORDER BY / LIMIT / OFFSET, and UNION ALL.
+
+Usage::
+
+    from repro.sql import parse_sql, bind
+    stmt = parse_sql("SELECT sum(a) FROM r GROUP BY b")
+    plan = bind(stmt, catalog)
+"""
+
+from .lexer import tokenize, Token, TokenType
+from .parser import parse_sql
+from .binder import bind
+
+__all__ = ["tokenize", "Token", "TokenType", "parse_sql", "bind"]

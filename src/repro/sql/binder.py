@@ -1,0 +1,1311 @@
+"""Semantic analysis: SQL AST → normalized logical plan.
+
+The binder resolves names against the catalog (plus CTEs and derived
+tables), extracts aggregate and window calls out of expressions, and emits
+plans obeying the normalization invariant of :mod:`repro.logical`: grouping
+keys, aggregate arguments, window keys/arguments, join keys and sort keys
+are all plain column references into explicit projections.
+
+Notable lowering rules (all from the paper):
+
+- ``AVG``/``VAR_*``/``STDDEV_*``/``MAD``/``MSSD`` stay *composed* here; the
+  computation graph (:mod:`repro.compgraph`) decomposes them.
+- An aggregate nested inside another aggregate's argument (§3.3 "Nested
+  aggregates", e.g. ``median(e - median(e))``) becomes a *window* call
+  partitioned by the outer GROUP BY keys, evaluated below the Aggregate.
+- A window call inside an aggregate argument (e.g. ``sum(pow(lead(q) - q,
+  2)))``) is hoisted into a Window operator below the Aggregate.
+- ``[NOT] EXISTS`` conjuncts in WHERE become SEMI/ANTI joins when the
+  correlation is a conjunction of simple equalities.
+- ``GROUPING SETS``/``ROLLUP``/``CUBE`` become one Aggregate carrying the
+  set list (never UNION ALL — that rewrite belongs to the HyPer-baseline
+  engine, not the frontend).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..aggregates import (
+    AggregateCall,
+    FrameBound,
+    FrameSpec,
+    WindowCall,
+    is_aggregate_name,
+    is_window_name,
+    lookup as agg_lookup,
+    AggKind,
+)
+from ..errors import BindError, NotSupportedError
+from ..expr import functions as scalar_functions
+from ..expr.eval import columns_referenced, infer_dtype
+from ..expr.nodes import (
+    BinaryOp,
+    CaseExpr,
+    Cast,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    UnaryOp,
+)
+from ..logical import (
+    Aggregate,
+    Filter,
+    Join,
+    JoinKind,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    UnionAll,
+    Window,
+)
+from ..logical.assemble import assemble_grouped, attach_window_stage
+from ..storage.table import Catalog
+from ..types import DataType, date_to_days, parse_type
+from . import ast as sql_ast
+
+
+def bind(stmt: sql_ast.SelectStmt, catalog: Catalog) -> LogicalPlan:
+    """Bind a parsed statement against ``catalog`` and return a plan."""
+    return _Binder(catalog).bind_statement(stmt)
+
+
+def _split_and(expr: Optional[sql_ast.SqlExpr]) -> List[sql_ast.SqlExpr]:
+    """Flatten a conjunction into its conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, sql_ast.SqlBinary) and expr.op == "and":
+        return _split_and(expr.left) + _split_and(expr.right)
+    return [expr]
+
+
+def _concat_renames(left_names: List[str], right_names: List[str]) -> List[str]:
+    """Mirror :meth:`Schema.concat`'s collision renaming for the right side."""
+    taken = {name.lower() for name in left_names}
+    renamed = []
+    for name in right_names:
+        candidate = name
+        suffix = 1
+        while candidate.lower() in taken:
+            candidate = f"{name}_{suffix}"
+            suffix += 1
+        taken.add(candidate.lower())
+        renamed.append(candidate)
+    return renamed
+
+
+class _Scope:
+    """Visible columns: (table alias, source column) → output column name."""
+
+    def __init__(self) -> None:
+        #: ordered (alias, source_name, output_name)
+        self.entries: List[Tuple[str, str, str]] = []
+
+    @classmethod
+    def for_table(cls, alias: str, column_names: Sequence[str]) -> "_Scope":
+        scope = cls()
+        for name in column_names:
+            scope.entries.append((alias.lower(), name.lower(), name))
+        return scope
+
+    def concat(self, other: "_Scope", renamed: List[str]) -> "_Scope":
+        scope = _Scope()
+        scope.entries = list(self.entries)
+        for (alias, source, _), new_name in zip(other.entries, renamed):
+            scope.entries.append((alias, source, new_name))
+        return scope
+
+    def output_names(self) -> List[str]:
+        return [output for _, _, output in self.entries]
+
+    def resolve(self, parts: Sequence[str]) -> Optional[str]:
+        if len(parts) == 2:
+            alias, column = parts[0].lower(), parts[1].lower()
+            matches = [
+                output
+                for a, source, output in self.entries
+                if a == alias and source == column
+            ]
+        else:
+            column = parts[0].lower()
+            matches = [
+                output for _, source, output in self.entries if source == column
+            ]
+            if not matches:
+                # Allow referencing generated output names directly (e.g.
+                # columns of a derived table that were renamed on conflict).
+                matches = [
+                    output
+                    for _, _, output in self.entries
+                    if output.lower() == column
+                ]
+        unique = sorted(set(matches))
+        if not unique:
+            return None
+        if len(unique) > 1:
+            raise BindError(f"ambiguous column reference: {'.'.join(parts)}")
+        return unique[0]
+
+
+class _ExprContext:
+    """Collects aggregate and window calls while converting expressions."""
+
+    def __init__(self) -> None:
+        self.aggregates: List[AggregateCall] = []
+        self.windows: List[WindowCall] = []
+        self._agg_index: Dict[Tuple, str] = {}
+        self._win_index: Dict[Tuple, str] = {}
+
+    def intern_aggregate(self, call: AggregateCall) -> str:
+        key = (
+            call.func,
+            tuple(a.key() for a in call.args),
+            call.distinct,
+            tuple((e.key(), d) for e, d in call.order_by),
+            call.fraction,
+        )
+        if key in self._agg_index:
+            return self._agg_index[key]
+        name = f"_agg{len(self.aggregates)}"
+        call.name = name
+        self.aggregates.append(call)
+        self._agg_index[key] = name
+        return name
+
+    def intern_window(self, call: WindowCall) -> str:
+        key = (
+            call.func,
+            tuple(a.key() for a in call.args),
+            call.ordering_key(),
+            call.frame.key() if call.frame else None,
+            call.offset,
+            call.default.key() if call.default is not None else None,
+            call.fraction,
+        )
+        if key in self._win_index:
+            return self._win_index[key]
+        name = f"_win{len(self.windows)}"
+        call.name = name
+        self.windows.append(call)
+        self._win_index[key] = name
+        return name
+
+
+class _Binder:
+    def __init__(self, catalog: Catalog, ctes: Optional[Dict[str, LogicalPlan]] = None):
+        self.catalog = catalog
+        self.ctes: Dict[str, LogicalPlan] = dict(ctes or {})
+        #: Grouping sets of the SELECT currently being bound (index tuples
+        #: into its group expressions) — consumed by GROUPING().
+        self._current_sets: Optional[List[Tuple[int, ...]]] = None
+        self._current_group_exprs: List[Expr] = []
+
+    def _bind_grouping_function(
+        self,
+        expr: "sql_ast.SqlFunc",
+        scope: "_Scope",
+        plan: LogicalPlan,
+        context: "_ExprContext",
+        group_exprs: List[Expr],
+    ) -> Expr:
+        """GROUPING(col): 1 when the grouping set omits the column, else 0.
+        Lowered to a CASE over the grouping_id bitmask, which every engine
+        already produces."""
+        if self._current_sets is None:
+            raise BindError("GROUPING() requires GROUPING SETS/ROLLUP/CUBE")
+        if len(expr.args) != 1:
+            raise BindError("GROUPING() takes exactly one argument")
+        argument = self._convert(
+            expr.args[0], scope, plan, context, group_exprs
+        )
+        position = None
+        for index, key in enumerate(self._current_group_exprs):
+            if key == argument:
+                position = index
+                break
+        if position is None:
+            raise BindError(
+                f"GROUPING() argument {expr.args[0]!r} is not a grouping key"
+            )
+        total = len(self._current_group_exprs)
+        whens = []
+        for indices in self._current_sets:
+            mask = 0
+            for p in range(total):
+                if p not in indices:
+                    mask |= 1 << (total - 1 - p)
+            bit = 0 if position in indices else 1
+            whens.append(
+                (
+                    BinaryOp(
+                        "=",
+                        ColumnRef("grouping_id"),
+                        Literal(mask, DataType.INT64),
+                    ),
+                    Literal(bit, DataType.INT64),
+                )
+            )
+        return CaseExpr(whens, None)
+
+    # ==================================================================
+    # Statements
+    # ==================================================================
+    def bind_statement(self, stmt: sql_ast.SelectStmt) -> LogicalPlan:
+        binder = self
+        if stmt.ctes:
+            binder = _Binder(self.catalog, self.ctes)
+            for name, cte_stmt in stmt.ctes:
+                binder.ctes[name.lower()] = binder.bind_statement(
+                    _strip_order(cte_stmt)
+                )
+        plan = binder._bind_core(stmt)
+        if stmt.union_all is not None:
+            parts = [plan]
+            tail: Optional[sql_ast.SelectStmt] = stmt.union_all
+            while tail is not None:
+                parts.append(binder._bind_core(tail))
+                tail = tail.union_all
+            plan = UnionAll(parts)
+        if stmt.order_by:
+            plan = binder._bind_order_limit(plan, stmt)
+        elif stmt.limit is not None or stmt.offset:
+            plan = Limit(plan, stmt.limit, stmt.offset)
+        return plan
+
+    # ==================================================================
+    # One SELECT core
+    # ==================================================================
+    def _bind_core(self, stmt: sql_ast.SelectStmt) -> LogicalPlan:
+        if stmt.from_clause is None:
+            raise NotSupportedError("SELECT without FROM is not supported")
+        plan, scope = self._bind_from(stmt.from_clause)
+        plan = self._bind_where(plan, scope, stmt.where)
+
+        context = _ExprContext()
+        group_exprs, grouping_sets = self._bind_group_by(stmt.group_by, scope, plan)
+
+        saved_sets = self._current_sets
+        saved_group_exprs = self._current_group_exprs
+        self._current_sets = grouping_sets
+        self._current_group_exprs = group_exprs
+        try:
+            select_items = self._expand_stars(stmt.items, scope)
+            bound_items: List[Tuple[str, Expr]] = []
+            taken_names: Dict[str, int] = {}
+            for position, item in enumerate(select_items):
+                core = self._convert(
+                    item.expr, scope, plan, context, group_exprs=group_exprs
+                )
+                name = self._item_name(item, core, position)
+                # Unaliased duplicate output names get positional suffixes.
+                if name.lower() in taken_names:
+                    taken_names[name.lower()] += 1
+                    name = f"{name}_{taken_names[name.lower()]}"
+                else:
+                    taken_names[name.lower()] = 0
+                bound_items.append((name, core))
+            having_core = None
+            if stmt.having is not None:
+                having_core = self._convert(
+                    stmt.having, scope, plan, context, group_exprs=group_exprs
+                )
+        finally:
+            self._current_sets = saved_sets
+            self._current_group_exprs = saved_group_exprs
+
+        is_grouped = bool(context.aggregates) or stmt.group_by is not None
+        if is_grouped:
+            plan = self._plan_grouped(
+                plan, context, group_exprs, grouping_sets, bound_items, having_core
+            )
+        else:
+            plan = self._plan_ungrouped(plan, context, bound_items)
+        if stmt.distinct:
+            plan = Aggregate(plan, plan.schema.names(), [])
+        return plan
+
+    # ------------------------------------------------------------------
+    # FROM / WHERE
+    # ------------------------------------------------------------------
+    def _bind_from(self, ref: sql_ast.TableRef) -> Tuple[LogicalPlan, _Scope]:
+        if isinstance(ref, sql_ast.NamedTable):
+            key = ref.name.lower()
+            if key in self.ctes:
+                plan = self.ctes[key]
+                return plan, _Scope.for_table(ref.alias, plan.schema.names())
+            table = self.catalog.get(ref.name)
+            plan = Scan(table.name, table.schema)
+            return plan, _Scope.for_table(ref.alias, table.schema.names())
+        if isinstance(ref, sql_ast.DerivedTable):
+            plan = self.bind_statement(ref.select)
+            return plan, _Scope.for_table(ref.alias, plan.schema.names())
+        if isinstance(ref, sql_ast.JoinedTable):
+            return self._bind_join(ref)
+        raise BindError(f"unsupported table reference: {ref!r}")
+
+    def _bind_join(self, ref: sql_ast.JoinedTable) -> Tuple[LogicalPlan, _Scope]:
+        left_plan, left_scope = self._bind_from(ref.left)
+        right_plan, right_scope = self._bind_from(ref.right)
+        kind = JoinKind(ref.kind)
+
+        left_keys: List[str] = []
+        right_keys: List[str] = []
+        left_filters: List[Expr] = []
+        right_filters: List[Expr] = []
+        residuals: List[sql_ast.SqlExpr] = []
+        for conjunct in _split_and(ref.condition):
+            if isinstance(conjunct, sql_ast.SqlLiteral) and conjunct.value is True:
+                continue
+            side = self._classify_conjunct(conjunct, left_scope, right_scope)
+            if side == "equi":
+                lname, rname = self._equi_names(conjunct, left_scope, right_scope)
+                left_keys.append(lname)
+                right_keys.append(rname)
+            elif side == "left":
+                left_filters.append(
+                    self._convert_simple(conjunct, left_scope, left_plan)
+                )
+            elif side == "right":
+                right_filters.append(
+                    self._convert_simple(conjunct, right_scope, right_plan)
+                )
+            else:
+                residuals.append(conjunct)
+
+        for predicate in left_filters:
+            left_plan = Filter(left_plan, predicate)
+        for predicate in right_filters:
+            right_plan = Filter(right_plan, predicate)
+        if not left_keys:
+            raise NotSupportedError(
+                "joins require at least one equality key in the ON clause"
+            )
+
+        if kind in (JoinKind.SEMI, JoinKind.ANTI):
+            if residuals:
+                raise NotSupportedError(
+                    "SEMI/ANTI join conditions spanning both sides beyond "
+                    "equalities are not supported"
+                )
+            join = Join(left_plan, right_plan, kind, left_keys, right_keys)
+            return join, left_scope
+
+        renamed = _concat_renames(
+            left_plan.schema.names(), right_plan.schema.names()
+        )
+        out_scope = left_scope.concat(right_scope, renamed)
+        # Right key names may have been renamed; Join matches on the child
+        # schema names, which is what right_keys already are.
+        join = Join(left_plan, right_plan, kind, left_keys, right_keys)
+        plan: LogicalPlan = join
+        for conjunct in residuals:
+            plan = Filter(plan, self._convert_simple(conjunct, out_scope, plan))
+        return plan, out_scope
+
+    def _classify_conjunct(
+        self,
+        conjunct: sql_ast.SqlExpr,
+        left_scope: _Scope,
+        right_scope: _Scope,
+    ) -> str:
+        names = _collect_names(conjunct)
+        in_left = all(left_scope.resolve(p) is not None for p in names)
+        in_right = all(right_scope.resolve(p) is not None for p in names)
+        if (
+            isinstance(conjunct, sql_ast.SqlBinary)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, sql_ast.SqlName)
+            and isinstance(conjunct.right, sql_ast.SqlName)
+        ):
+            l_in_l = left_scope.resolve(conjunct.left.parts) is not None
+            l_in_r = right_scope.resolve(conjunct.left.parts) is not None
+            r_in_l = left_scope.resolve(conjunct.right.parts) is not None
+            r_in_r = right_scope.resolve(conjunct.right.parts) is not None
+            if (l_in_l and r_in_r and not l_in_r) or (
+                l_in_l and r_in_r and not r_in_l
+            ):
+                return "equi"
+            if (l_in_r and r_in_l and not l_in_l) or (l_in_r and r_in_l and not r_in_r):
+                return "equi"
+        if in_left and not in_right:
+            return "left"
+        if in_right and not in_left:
+            return "right"
+        return "residual"
+
+    def _equi_names(
+        self,
+        conjunct: sql_ast.SqlBinary,
+        left_scope: _Scope,
+        right_scope: _Scope,
+    ) -> Tuple[str, str]:
+        left_name = left_scope.resolve(conjunct.left.parts)
+        right_name = right_scope.resolve(conjunct.right.parts)
+        if left_name is not None and right_name is not None:
+            return left_name, right_name
+        left_name = left_scope.resolve(conjunct.right.parts)
+        right_name = right_scope.resolve(conjunct.left.parts)
+        if left_name is None or right_name is None:
+            raise BindError(f"cannot resolve join keys in {conjunct!r}")
+        return left_name, right_name
+
+    def _bind_where(
+        self,
+        plan: LogicalPlan,
+        scope: _Scope,
+        where: Optional[sql_ast.SqlExpr],
+    ) -> LogicalPlan:
+        predicates: List[Expr] = []
+        for conjunct in _split_and(where):
+            if isinstance(conjunct, sql_ast.SqlExists):
+                plan = self._bind_exists(plan, scope, conjunct)
+            elif isinstance(conjunct, sql_ast.SqlInSubquery):
+                plan = self._bind_in_subquery(plan, scope, conjunct)
+            else:
+                predicates.append(self._convert_simple(conjunct, scope, plan))
+        for predicate in predicates:
+            plan = Filter(plan, predicate)
+        return plan
+
+    def _bind_in_subquery(
+        self,
+        plan: LogicalPlan,
+        scope: _Scope,
+        predicate: "sql_ast.SqlInSubquery",
+    ) -> LogicalPlan:
+        """``x [NOT] IN (SELECT ...)`` lowers to a SEMI/ANTI join on the
+        subquery's single output column.
+
+        Note: ``NOT IN`` is lowered to an ANTI join, which matches SQL only
+        when the subquery produces no NULLs (SQL's three-valued NOT IN
+        yields no rows otherwise) — the usual optimizer restriction.
+        """
+        operand = self._convert_simple(predicate.operand, scope, plan)
+        if not isinstance(operand, ColumnRef):
+            raise NotSupportedError(
+                "IN (subquery) requires a plain column operand"
+            )
+        sub_plan = self.bind_statement(predicate.subquery)
+        if len(sub_plan.schema) != 1:
+            raise BindError("IN subquery must produce exactly one column")
+        kind = JoinKind.ANTI if predicate.negated else JoinKind.SEMI
+        return Join(
+            plan, sub_plan, kind,
+            [operand.name], [sub_plan.schema.fields[0].name],
+        )
+
+    def _bind_exists(
+        self,
+        plan: LogicalPlan,
+        outer_scope: _Scope,
+        exists: sql_ast.SqlExists,
+    ) -> LogicalPlan:
+        sub = exists.subquery
+        if sub.group_by is not None or sub.having is not None or sub.ctes:
+            raise NotSupportedError("EXISTS subqueries must be simple SELECTs")
+        sub_plan, sub_scope = self._bind_from(sub.from_clause)
+        left_keys: List[str] = []
+        right_keys: List[str] = []
+        inner_filters: List[Expr] = []
+        for conjunct in _split_and(sub.where):
+            names = _collect_names(conjunct)
+            inner_only = all(sub_scope.resolve(p) is not None for p in names)
+            if inner_only:
+                inner_filters.append(
+                    self._convert_simple(conjunct, sub_scope, sub_plan)
+                )
+                continue
+            if (
+                isinstance(conjunct, sql_ast.SqlBinary)
+                and conjunct.op == "="
+                and isinstance(conjunct.left, sql_ast.SqlName)
+                and isinstance(conjunct.right, sql_ast.SqlName)
+            ):
+                inner = sub_scope.resolve(conjunct.left.parts)
+                outer = outer_scope.resolve(conjunct.right.parts)
+                if inner is None or outer is None:
+                    inner = sub_scope.resolve(conjunct.right.parts)
+                    outer = outer_scope.resolve(conjunct.left.parts)
+                if inner is not None and outer is not None:
+                    left_keys.append(outer)
+                    right_keys.append(inner)
+                    continue
+            raise NotSupportedError(
+                f"unsupported correlation in EXISTS: {conjunct!r}"
+            )
+        for predicate in inner_filters:
+            sub_plan = Filter(sub_plan, predicate)
+        if not left_keys:
+            raise NotSupportedError("EXISTS requires equality correlation")
+        kind = JoinKind.ANTI if exists.negated else JoinKind.SEMI
+        return Join(plan, sub_plan, kind, left_keys, right_keys)
+
+    # ------------------------------------------------------------------
+    # GROUP BY
+    # ------------------------------------------------------------------
+    def _bind_group_by(
+        self,
+        clause: Optional[sql_ast.GroupByClause],
+        scope: _Scope,
+        plan: LogicalPlan,
+    ) -> Tuple[List[Expr], Optional[List[Tuple[int, ...]]]]:
+        """Returns (distinct group-key exprs, grouping sets as index tuples)."""
+        if clause is None:
+            return [], None
+        if clause.sets is None:
+            exprs = [
+                self._convert_simple(key, scope, plan) for key in clause.keys
+            ]
+            return _dedupe_exprs(exprs), None
+        all_exprs: List[Expr] = []
+        sets: List[Tuple[int, ...]] = []
+        for key_set in clause.sets:
+            indices = []
+            for key in key_set:
+                core = self._convert_simple(key, scope, plan)
+                for i, existing in enumerate(all_exprs):
+                    if existing == core:
+                        indices.append(i)
+                        break
+                else:
+                    all_exprs.append(core)
+                    indices.append(len(all_exprs) - 1)
+            sets.append(tuple(indices))
+        return all_exprs, sets
+
+    # ------------------------------------------------------------------
+    # Plan assembly
+    # ------------------------------------------------------------------
+    def _plan_grouped(
+        self,
+        plan: LogicalPlan,
+        context: _ExprContext,
+        group_exprs: List[Expr],
+        grouping_sets: Optional[List[Tuple[int, ...]]],
+        bound_items: List[Tuple[str, Expr]],
+        having_core: Optional[Expr],
+    ) -> LogicalPlan:
+        return assemble_grouped(
+            plan,
+            context.aggregates,
+            context.windows,
+            group_exprs,
+            grouping_sets,
+            bound_items,
+            having_core,
+        )
+
+    def _plan_ungrouped(
+        self,
+        plan: LogicalPlan,
+        context: _ExprContext,
+        bound_items: List[Tuple[str, Expr]],
+    ) -> LogicalPlan:
+        if context.windows:
+            plan = attach_window_stage(plan, context.windows)
+        return Project(plan, bound_items)
+
+    # ------------------------------------------------------------------
+    # ORDER BY / LIMIT
+    # ------------------------------------------------------------------
+    def _bind_order_limit(
+        self, plan: LogicalPlan, stmt: sql_ast.SelectStmt
+    ) -> LogicalPlan:
+        keys: List[Tuple[str, bool]] = []
+        output = plan.schema
+        hidden: List[Tuple[str, Expr]] = []
+        for item in stmt.order_by:
+            expr = item.expr
+            if isinstance(expr, sql_ast.SqlLiteral) and expr.kind == "int":
+                position = int(expr.value)
+                if not (1 <= position <= len(output)):
+                    raise BindError(f"ORDER BY position {position} out of range")
+                keys.append((output.fields[position - 1].name, item.descending))
+                continue
+            if isinstance(expr, sql_ast.SqlName):
+                # Qualified names resolve by their column part when the
+                # select list carries it (ORDER BY t.a after SELECT t.a).
+                name = expr.parts[-1]
+                if output.has(name):
+                    keys.append((output[name].name, item.descending))
+                    continue
+            # Arbitrary expression over the select list: computed into a
+            # hidden projection column that is dropped after the sort.
+            scope = _Scope.for_table("", output.names())
+            core = self._convert_simple(expr, scope, plan)
+            name = f"_ord{len(hidden)}"
+            hidden.append((name, core))
+            keys.append((name, item.descending))
+        if hidden:
+            passthrough = [
+                (field.name, ColumnRef(field.name)) for field in output
+            ]
+            plan = Project(plan, passthrough + hidden)
+        plan = Sort(plan, keys)
+        if stmt.limit is not None or stmt.offset:
+            plan = Limit(plan, stmt.limit, stmt.offset)
+        if hidden:
+            plan = Project(
+                plan, [(field.name, ColumnRef(field.name)) for field in output]
+            )
+        return plan
+
+    # ------------------------------------------------------------------
+    # Select-list helpers
+    # ------------------------------------------------------------------
+    def _expand_stars(
+        self, items: Sequence[sql_ast.SelectItem], scope: _Scope
+    ) -> List[sql_ast.SelectItem]:
+        expanded: List[sql_ast.SelectItem] = []
+        for item in items:
+            if isinstance(item.expr, sql_ast.SqlStar):
+                for alias, source, output in scope.entries:
+                    if item.expr.table and alias != item.expr.table.lower():
+                        continue
+                    expanded.append(
+                        sql_ast.SelectItem(sql_ast.SqlName([output]), output)
+                    )
+            else:
+                expanded.append(item)
+        return expanded
+
+    @staticmethod
+    def _item_name(item: sql_ast.SelectItem, core: Expr, position: int) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expr, sql_ast.SqlName):
+            return item.expr.parts[-1]
+        if isinstance(item.expr, sql_ast.SqlFunc):
+            return item.expr.name
+        return f"col{position}"
+
+    # ==================================================================
+    # Expression conversion
+    # ==================================================================
+    def _convert_simple(
+        self, expr: sql_ast.SqlExpr, scope: _Scope, plan: LogicalPlan
+    ) -> Expr:
+        """Convert an expression that may not contain aggregates/windows."""
+        context = _ExprContext()
+        core = self._convert(expr, scope, plan, context, group_exprs=[])
+        if context.aggregates or context.windows:
+            raise BindError(f"aggregate/window not allowed here: {expr!r}")
+        return core
+
+    def _convert(
+        self,
+        expr: sql_ast.SqlExpr,
+        scope: _Scope,
+        plan: LogicalPlan,
+        context: _ExprContext,
+        group_exprs: List[Expr],
+        inside_aggregate: bool = False,
+    ) -> Expr:
+        recurse = lambda e, inside=inside_aggregate: self._convert(  # noqa: E731
+            e, scope, plan, context, group_exprs, inside
+        )
+        if isinstance(expr, sql_ast.SqlLiteral):
+            return _bind_literal(expr)
+        if isinstance(expr, sql_ast.SqlName):
+            output = scope.resolve(expr.parts)
+            if output is None:
+                # grouping_id is a pseudo-column emitted by grouping sets;
+                # assembly validates that the aggregate actually produces it.
+                if expr.parts[-1] == "grouping_id" and len(expr.parts) == 1:
+                    return ColumnRef("grouping_id")
+                raise BindError(f"unknown column: {'.'.join(expr.parts)}")
+            return ColumnRef(output)
+        if isinstance(expr, sql_ast.SqlUnary):
+            return UnaryOp(expr.op, recurse(expr.operand))
+        if isinstance(expr, sql_ast.SqlBinary):
+            left = recurse(expr.left)
+            right = recurse(expr.right)
+            left, right = self._coerce_comparison(expr.op, left, right, plan)
+            return BinaryOp(expr.op, left, right)
+        if isinstance(expr, sql_ast.SqlBetween):
+            operand = recurse(expr.operand)
+            low = recurse(expr.low)
+            high = recurse(expr.high)
+            _, low = self._coerce_comparison(">=", operand, low, plan)
+            _, high = self._coerce_comparison("<=", operand, high, plan)
+            between = BinaryOp(
+                "and",
+                BinaryOp(">=", operand, low),
+                BinaryOp("<=", operand, high),
+            )
+            return UnaryOp("not", between) if expr.negated else between
+        if isinstance(expr, sql_ast.SqlInList):
+            operand = recurse(expr.operand)
+            items = []
+            for item in expr.items:
+                bound = recurse(item)
+                _, bound = self._coerce_comparison("=", operand, bound, plan)
+                items.append(bound)
+            return InList(operand, items, expr.negated)
+        if isinstance(expr, sql_ast.SqlIsNull):
+            return IsNull(recurse(expr.operand), expr.negated)
+        if isinstance(expr, sql_ast.SqlCase):
+            whens = []
+            for cond, value in expr.whens:
+                cond_core = recurse(cond)
+                if expr.operand is not None:
+                    cond_core = BinaryOp("=", recurse(expr.operand), cond_core)
+                whens.append((cond_core, recurse(value)))
+            default = recurse(expr.default) if expr.default is not None else None
+            return CaseExpr(whens, default)
+        if isinstance(expr, sql_ast.SqlCast):
+            return Cast(recurse(expr.operand), parse_type(expr.type_name))
+        if isinstance(expr, sql_ast.SqlExists):
+            raise NotSupportedError("EXISTS is only supported in WHERE conjuncts")
+        if isinstance(expr, sql_ast.SqlFunc):
+            return self._convert_func(
+                expr, scope, plan, context, group_exprs, inside_aggregate
+            )
+        if isinstance(expr, sql_ast.SqlStar):
+            raise BindError("'*' is only valid as a select item or in count(*)")
+        raise BindError(f"unsupported expression: {expr!r}")
+
+    def _coerce_comparison(
+        self, op: str, left: Expr, right: Expr, plan: LogicalPlan
+    ) -> Tuple[Expr, Expr]:
+        """Turn string literals compared against DATE columns into DATE
+        literals (both directions)."""
+        if op not in ("=", "<>", "<", "<=", ">", ">="):
+            return left, right
+
+        def dtype_of(expr: Expr) -> Optional[DataType]:
+            try:
+                return infer_dtype(expr, plan.schema)
+            except Exception:
+                return None
+
+        def to_date(literal: Expr) -> Expr:
+            if isinstance(literal, Literal) and literal.dtype is DataType.STRING:
+                import datetime
+
+                return Literal(
+                    datetime.date.fromisoformat(literal.value), DataType.DATE
+                )
+            return literal
+
+        if dtype_of(left) is DataType.DATE:
+            right = to_date(right)
+        if dtype_of(right) is DataType.DATE:
+            left = to_date(left)
+        return left, right
+
+    # ------------------------------------------------------------------
+    def _convert_func(
+        self,
+        expr: sql_ast.SqlFunc,
+        scope: _Scope,
+        plan: LogicalPlan,
+        context: _ExprContext,
+        group_exprs: List[Expr],
+        inside_aggregate: bool,
+    ) -> Expr:
+        name = expr.name
+        # cumsum(x) sugar: running sum window
+        if name == "cumsum" and expr.over is not None:
+            expr = sql_ast.SqlFunc("sum", expr.args, over=expr.over)
+            if expr.over.frame is None:
+                expr.over.frame = sql_ast.FrameDef(
+                    ("unbounded_preceding", 0), ("current", 0)
+                )
+            name = "sum"
+
+        if expr.over is not None:
+            return self._bind_window_call(
+                expr, scope, plan, context, group_exprs, inside_aggregate
+            )
+        if is_aggregate_name(name):
+            return self._bind_aggregate_call(
+                expr, scope, plan, context, group_exprs, inside_aggregate
+            )
+        if is_window_name(name):
+            raise BindError(f"window function {name} requires an OVER clause")
+        if name == "grouping":
+            return self._bind_grouping_function(
+                expr, scope, plan, context, group_exprs
+            )
+        # Ordinary scalar function.
+        scalar_functions.lookup(name)
+        args = [
+            self._convert(a, scope, plan, context, group_exprs, inside_aggregate)
+            for a in expr.args
+        ]
+        return FuncCall(name, args)
+
+    def _bind_aggregate_call(
+        self,
+        expr: sql_ast.SqlFunc,
+        scope: _Scope,
+        plan: LogicalPlan,
+        context: _ExprContext,
+        group_exprs: List[Expr],
+        inside_aggregate: bool,
+    ) -> Expr:
+        name = expr.name
+        spec = agg_lookup(name)
+        if expr.filter_where is not None:
+            # FILTER (WHERE f): rewrite to a CASE-wrapped argument — the
+            # aggregate skips the NULLs the CASE produces for filtered rows.
+            # count(*) FILTER becomes count(CASE WHEN f THEN 1 END).
+            condition = expr.filter_where
+            if name == "count" and expr.args and isinstance(
+                expr.args[0], sql_ast.SqlStar
+            ):
+                new_args: List[sql_ast.SqlExpr] = [
+                    sql_ast.SqlCase(
+                        None, [(condition, sql_ast.SqlLiteral(1, "int"))], None
+                    )
+                ]
+            elif name in ("percentile_disc", "percentile_cont"):
+                # The first argument is the fraction; the filtered value is
+                # the WITHIN GROUP expression (wrapped below).
+                new_args = list(expr.args)
+            elif expr.args:
+                new_args = [
+                    sql_ast.SqlCase(None, [(condition, expr.args[0])], None)
+                ] + list(expr.args[1:])
+            else:
+                raise NotSupportedError(f"FILTER on {name} without arguments")
+            within = expr.within_group
+            if within:
+                within = [
+                    sql_ast.OrderItem(
+                        sql_ast.SqlCase(None, [(condition, o.expr)], None),
+                        o.descending,
+                    )
+                    for o in within
+                ]
+            rewritten = sql_ast.SqlFunc(
+                name, new_args, distinct=expr.distinct, within_group=within
+            )
+            return self._bind_aggregate_call(
+                rewritten, scope, plan, context, group_exprs, inside_aggregate
+            )
+        if inside_aggregate:
+            # Nested aggregate (§3.3): evaluate as a window over the group.
+            window = sql_ast.SqlFunc(
+                expr.name,
+                expr.args,
+                distinct=expr.distinct,
+                within_group=expr.within_group,
+                over=sql_ast.WindowDef(partition_by=[], order_by=[]),
+            )
+            return self._bind_window_call(
+                window, scope, plan, context, group_exprs,
+                inside_aggregate=True, implicit_group_partition=True,
+            )
+
+        if spec.kind is AggKind.COMPOSED:
+            return self._decompose_aggregate(
+                expr, scope, plan, context, group_exprs
+            )
+
+        fraction = None
+        args = list(expr.args)
+        order_by: List[Tuple[Expr, bool]] = []
+        if name == "mode":
+            if not expr.within_group:
+                raise BindError("mode requires WITHIN GROUP (ORDER BY ...)")
+            ordered = expr.within_group[0]
+            value = self._convert(
+                ordered.expr, scope, plan, context, group_exprs, True
+            )
+            core_args = [value]
+            order_by = [(value, ordered.descending)]
+        elif name in ("percentile_disc", "percentile_cont"):
+            if not expr.within_group:
+                raise BindError(f"{name} requires WITHIN GROUP (ORDER BY ...)")
+            fraction = _fraction_value(args)
+            ordered = expr.within_group[0]
+            value = self._convert(
+                ordered.expr, scope, plan, context, group_exprs, True
+            )
+            core_args = [value]
+            order_by = [(value, ordered.descending)]
+        elif name == "median":
+            # MEDIAN is the interpolating percentile at 0.5.
+            name = "percentile_cont"
+            fraction = 0.5
+            value = self._convert(
+                args[0], scope, plan, context, group_exprs, True
+            )
+            core_args = [value]
+            order_by = [(value, False)]
+        else:
+            if args and isinstance(args[0], sql_ast.SqlStar):
+                if name != "count":
+                    raise BindError(f"{name}(*) is not valid")
+                name = "count_star"
+                core_args = []
+            else:
+                core_args = [
+                    self._convert(a, scope, plan, context, group_exprs, True)
+                    for a in args
+                ]
+            if expr.within_group:
+                order_by = [
+                    (
+                        self._convert(
+                            o.expr, scope, plan, context, group_exprs, True
+                        ),
+                        o.descending,
+                    )
+                    for o in expr.within_group
+                ]
+        call = AggregateCall(
+            name="_pending",
+            func=name,
+            args=core_args,
+            distinct=expr.distinct,
+            order_by=order_by,
+            fraction=fraction,
+        )
+        return ColumnRef(context.intern_aggregate(call))
+
+    def _decompose_aggregate(
+        self,
+        expr: sql_ast.SqlFunc,
+        scope: _Scope,
+        plan: LogicalPlan,
+        context: _ExprContext,
+        group_exprs: List[Expr],
+    ) -> Expr:
+        """Lower composed aggregates to primitives plus scalar expressions
+        (paper §3.3, "Composed Aggregates"). Because primitive calls are
+        interned, SUM/COUNT shared between AVG and VAR_POP collapse into one
+        computation — the sharing of Figure 3 query 0."""
+        name = expr.name
+
+        def intern(func: str, arg: Expr, distinct: bool = False) -> Expr:
+            return ColumnRef(
+                context.intern_aggregate(
+                    AggregateCall("_pending", func, [arg], distinct=distinct)
+                )
+            )
+
+        if name in ("avg", "var_pop", "var_samp", "stddev_pop", "stddev_samp"):
+            value = self._convert(
+                expr.args[0], scope, plan, context, group_exprs, True
+            )
+            total = intern("sum", value, expr.distinct)
+            count = intern("count", value, expr.distinct)
+            total_f = Cast(total, DataType.FLOAT64)
+            if name == "avg":
+                return BinaryOp("/", total_f, count)
+            squares = intern(
+                "sum", BinaryOp("*", value, value), expr.distinct
+            )
+            squares_f = Cast(squares, DataType.FLOAT64)
+            mean_square = BinaryOp(
+                "/", BinaryOp("*", total_f, total_f), count
+            )
+            numerator = BinaryOp("-", squares_f, mean_square)
+            denominator: Expr
+            if name in ("var_pop", "stddev_pop"):
+                denominator = count
+            else:
+                denominator = FuncCall(
+                    "nullif",
+                    [BinaryOp("-", count, Literal(1, DataType.INT64)),
+                     Literal(0, DataType.INT64)],
+                )
+            variance = BinaryOp("/", numerator, denominator)
+            if name.startswith("stddev"):
+                return FuncCall("sqrt", [variance])
+            return variance
+
+        if name == "mad":
+            # MAD = MEDIAN(|x - MEDIAN(x)|): the inner median is a window
+            # aggregate over the group (paper §3.3, "Nested aggregates").
+            if expr.args:
+                value_sql = expr.args[0]
+            elif expr.within_group:
+                value_sql = expr.within_group[0].expr
+            else:
+                raise BindError("mad requires an argument or WITHIN GROUP")
+            value = self._convert(
+                value_sql, scope, plan, context, group_exprs, False
+            )
+            inner = sql_ast.SqlFunc(
+                "median", [value_sql], over=sql_ast.WindowDef()
+            )
+            median_ref = self._bind_window_call(
+                inner, scope, plan, context, group_exprs,
+                inside_aggregate=True, implicit_group_partition=True,
+            )
+            deviation = FuncCall("abs", [BinaryOp("-", value, median_ref)])
+            call = AggregateCall(
+                "_pending", "percentile_cont", [deviation],
+                order_by=[(deviation, False)], fraction=0.5,
+            )
+            return ColumnRef(context.intern_aggregate(call))
+
+        if name == "mssd":
+            # Mean Square Successive Difference (paper §3.4):
+            # sqrt(sum((lead(x) - x)^2) / (n - 1)). LEAD runs as a window
+            # over the group ordered by the WITHIN GROUP key (or x itself).
+            if not expr.args:
+                raise BindError("mssd requires an argument")
+            value_sql = expr.args[0]
+            order_items = expr.within_group or [sql_ast.OrderItem(value_sql)]
+            value = self._convert(
+                value_sql, scope, plan, context, group_exprs, False
+            )
+            lead = sql_ast.SqlFunc(
+                "lead", [value_sql],
+                over=sql_ast.WindowDef(order_by=list(order_items)),
+            )
+            lead_ref = self._bind_window_call(
+                lead, scope, plan, context, group_exprs,
+                inside_aggregate=True, implicit_group_partition=True,
+            )
+            diff_sq = FuncCall(
+                "power",
+                [BinaryOp("-", lead_ref, value), Literal(2, DataType.INT64)],
+            )
+            total = intern("sum", diff_sq)
+            pairs = intern("count", diff_sq)
+            return FuncCall("sqrt", [BinaryOp("/", total, pairs)])
+
+        raise BindError(f"cannot decompose aggregate {name}")
+
+    def _bind_window_call(
+        self,
+        expr: sql_ast.SqlFunc,
+        scope: _Scope,
+        plan: LogicalPlan,
+        context: _ExprContext,
+        group_exprs: List[Expr],
+        inside_aggregate: bool,
+        implicit_group_partition: bool = False,
+    ) -> Expr:
+        name = expr.name
+        if not is_window_name(name):
+            raise BindError(f"{name} cannot be used as a window function")
+        if name == "avg":
+            # Composed window aggregate: sum/count over the same window.
+            total = self._bind_window_call(
+                sql_ast.SqlFunc("sum", expr.args, over=expr.over),
+                scope, plan, context, group_exprs,
+                inside_aggregate, implicit_group_partition,
+            )
+            count = self._bind_window_call(
+                sql_ast.SqlFunc("count", expr.args, over=expr.over),
+                scope, plan, context, group_exprs,
+                inside_aggregate, implicit_group_partition,
+            )
+            return BinaryOp("/", Cast(total, DataType.FLOAT64), count)
+        if name in ("var_pop", "var_samp", "stddev_pop", "stddev_samp", "mad", "mssd"):
+            raise NotSupportedError(f"{name} is not supported as a window function")
+        over = expr.over
+        partition_by = [
+            self._convert(p, scope, plan, context, group_exprs, False)
+            for p in over.partition_by
+        ]
+        if implicit_group_partition:
+            partition_by = list(group_exprs)
+        order_by = [
+            (
+                self._convert(o.expr, scope, plan, context, group_exprs, False),
+                o.descending,
+            )
+            for o in over.order_by
+        ]
+        fraction = None
+        offset = 1
+        default: Optional[Expr] = None
+        args = list(expr.args)
+        if name in ("percentile_disc", "percentile_cont", "median"):
+            if name == "median":
+                name = "percentile_cont"
+                fraction = 0.5
+                core_args = [
+                    self._convert(args[0], scope, plan, context, group_exprs, False)
+                ]
+            else:
+                fraction = _fraction_value(args)
+                if not expr.within_group:
+                    raise BindError(f"{name} requires WITHIN GROUP (ORDER BY ...)")
+                core_args = [
+                    self._convert(
+                        expr.within_group[0].expr, scope, plan, context,
+                        group_exprs, False,
+                    )
+                ]
+        elif name in ("lag", "lead", "ntile", "nth_value"):
+            core_args = []
+            if name == "ntile":
+                offset = _int_literal(args[0], "ntile bucket count")
+            else:
+                core_args = [
+                    self._convert(args[0], scope, plan, context, group_exprs, False)
+                ]
+                if name == "nth_value":
+                    offset = _int_literal(args[1], "nth_value position")
+                elif len(args) >= 2:
+                    offset = _int_literal(args[1], f"{name} offset")
+                if name in ("lag", "lead") and len(args) >= 3:
+                    default = self._convert(
+                        args[2], scope, plan, context, group_exprs, False
+                    )
+        else:
+            core_args = [
+                self._convert(a, scope, plan, context, group_exprs, False)
+                for a in args
+                if not isinstance(a, sql_ast.SqlStar)
+            ]
+            if args and isinstance(args[0], sql_ast.SqlStar):
+                name = "count_star"
+        frame = _bind_frame(over.frame, bool(order_by), name)
+        call = WindowCall(
+            name="_pending",
+            func=name,
+            args=core_args,
+            partition_by=partition_by,
+            order_by=order_by,
+            frame=frame,
+            offset=offset,
+            default=default,
+            fraction=fraction,
+        )
+        return ColumnRef(context.intern_window(call))
+
+
+# ----------------------------------------------------------------------
+# Small helpers
+# ----------------------------------------------------------------------
+
+
+def _strip_order(stmt: sql_ast.SelectStmt) -> sql_ast.SelectStmt:
+    return stmt
+
+
+def _dedupe_exprs(exprs: List[Expr]) -> List[Expr]:
+    seen = set()
+    out = []
+    for expr in exprs:
+        if expr.key() not in seen:
+            seen.add(expr.key())
+            out.append(expr)
+    return out
+
+
+def _collect_names(expr: sql_ast.SqlExpr) -> List[Tuple[str, ...]]:
+    names: List[Tuple[str, ...]] = []
+
+    def walk(node: sql_ast.SqlExpr) -> None:
+        if isinstance(node, sql_ast.SqlName):
+            names.append(node.parts)
+        elif isinstance(node, sql_ast.SqlBinary):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, sql_ast.SqlUnary):
+            walk(node.operand)
+        elif isinstance(node, sql_ast.SqlBetween):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, sql_ast.SqlInList):
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, sql_ast.SqlIsNull):
+            walk(node.operand)
+        elif isinstance(node, sql_ast.SqlCase):
+            if node.operand is not None:
+                walk(node.operand)
+            for cond, value in node.whens:
+                walk(cond)
+                walk(value)
+            if node.default is not None:
+                walk(node.default)
+        elif isinstance(node, sql_ast.SqlCast):
+            walk(node.operand)
+        elif isinstance(node, sql_ast.SqlFunc):
+            for arg in node.args:
+                walk(arg)
+
+    walk(expr)
+    return names
+
+
+def _bind_literal(expr: sql_ast.SqlLiteral) -> Literal:
+    if expr.kind == "int":
+        return Literal(int(expr.value), DataType.INT64)
+    if expr.kind == "float":
+        return Literal(float(expr.value), DataType.FLOAT64)
+    if expr.kind == "string":
+        return Literal(expr.value, DataType.STRING)
+    if expr.kind == "bool":
+        return Literal(bool(expr.value), DataType.BOOL)
+    if expr.kind == "null":
+        return Literal(None, DataType.INT64)
+    if expr.kind == "date":
+        import datetime
+
+        return Literal(datetime.date.fromisoformat(expr.value), DataType.DATE)
+    raise BindError(f"unknown literal kind {expr.kind!r}")
+
+
+def _fraction_value(args: List[sql_ast.SqlExpr]) -> float:
+    if not args or not isinstance(args[0], sql_ast.SqlLiteral):
+        raise BindError("percentile fraction must be a literal")
+    fraction = float(args[0].value)
+    if not (0.0 <= fraction <= 1.0):
+        raise BindError("percentile fraction must be in [0, 1]")
+    return fraction
+
+
+def _int_literal(expr: sql_ast.SqlExpr, what: str) -> int:
+    if not isinstance(expr, sql_ast.SqlLiteral) or expr.kind != "int":
+        raise BindError(f"{what} must be an integer literal")
+    return int(expr.value)
+
+
+#: Window functions defined on the whole partition ordering, not a frame.
+_FRAMELESS_WINDOW_FUNCS = {
+    "row_number", "rank", "dense_rank", "cume_dist", "percent_rank",
+    "ntile", "lag", "lead",
+}
+
+
+def _bind_frame(
+    frame: Optional[sql_ast.FrameDef], has_order: bool, func: str
+) -> Optional[FrameSpec]:
+    spec = agg_lookup(func if func != "count_star" else "count")
+    if func in _FRAMELESS_WINDOW_FUNCS:
+        return None  # ranking/navigation functions ignore frames
+    if spec.kind is AggKind.WINDOW_ONLY and frame is None:
+        # first_value/last_value/nth_value take the standard default frame.
+        return FrameSpec.running_range() if has_order else FrameSpec.whole_partition()
+    if frame is None:
+        if spec.kind is AggKind.ORDERED_SET:
+            return FrameSpec.whole_partition()
+        # SQL default with ORDER BY: RANGE UNBOUNDED PRECEDING..CURRENT ROW
+        # (peers of the current row included).
+        return (
+            FrameSpec.running_range() if has_order else FrameSpec.whole_partition()
+        )
+    bounds = {
+        "unbounded_preceding": FrameBound.UNBOUNDED_PRECEDING,
+        "preceding": FrameBound.PRECEDING,
+        "current": FrameBound.CURRENT_ROW,
+        "following": FrameBound.FOLLOWING,
+        "unbounded_following": FrameBound.UNBOUNDED_FOLLOWING,
+    }
+    if frame.mode == "range" and (frame.start[1] or frame.end[1]):
+        raise NotSupportedError("RANGE frames with value offsets")
+    return FrameSpec(
+        bounds[frame.start[0]], frame.start[1],
+        bounds[frame.end[0]], frame.end[1],
+        mode=frame.mode,
+    )

@@ -1,0 +1,144 @@
+"""Table statistics for cardinality estimation.
+
+The paper's closing future-work item is cost-based DAG optimization; its
+prerequisite is cardinality knowledge. This module collects per-table
+statistics by sampling:
+
+- row count (exact),
+- per-column NULL fraction and min/max (from the sample),
+- per-column distinct-count estimate via the Chao1 estimator
+  (``d + f1²/(2·f2)``: observed distincts plus a correction from the
+  number of values seen exactly once/twice — a standard species-richness
+  estimator that behaves well on both low- and high-cardinality columns).
+
+Statistics are cached per table and invalidated by inserts (tables carry a
+version counter).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from .storage.column import Column
+from .storage.keys import _normalize_values
+from .storage.table import Table
+from .types import DataType
+
+DEFAULT_SAMPLE_SIZE = 10_000
+
+
+class ColumnStats:
+    """Distribution summary of one column."""
+
+    __slots__ = ("distinct", "null_fraction", "minimum", "maximum")
+
+    def __init__(
+        self,
+        distinct: float,
+        null_fraction: float,
+        minimum: Any = None,
+        maximum: Any = None,
+    ):
+        self.distinct = max(1.0, float(distinct))
+        self.null_fraction = float(null_fraction)
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnStats(distinct≈{self.distinct:.0f}, "
+            f"nulls={self.null_fraction:.2f})"
+        )
+
+
+class TableStats:
+    """Row count plus per-column statistics."""
+
+    __slots__ = ("rows", "columns")
+
+    def __init__(self, rows: int, columns: Dict[str, ColumnStats]):
+        self.rows = rows
+        self.columns = columns
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name.lower())
+
+    def __repr__(self) -> str:
+        return f"TableStats({self.rows} rows, {len(self.columns)} columns)"
+
+
+def chao1_estimate(sample_distinct: int, singletons: int, doubletons: int) -> float:
+    """Chao1 lower-bound estimator of the total number of distinct values."""
+    if doubletons > 0:
+        return sample_distinct + (singletons * singletons) / (2.0 * doubletons)
+    # Bias-corrected variant for f2 == 0.
+    return sample_distinct + singletons * (singletons - 1) / 2.0
+
+
+def _column_stats(column: Column, total_rows: int, sample_rows: int) -> ColumnStats:
+    n = len(column)
+    if n == 0:
+        return ColumnStats(distinct=1.0, null_fraction=0.0)
+    valid = column.valid_mask()
+    null_fraction = 1.0 - float(valid.sum()) / n
+    values = _normalize_values(column)[valid]
+    if len(values) == 0:
+        return ColumnStats(distinct=1.0, null_fraction=null_fraction)
+    uniques, counts = np.unique(values, return_counts=True)
+    singletons = int((counts == 1).sum())
+    doubletons = int((counts == 2).sum())
+    estimate = chao1_estimate(len(uniques), singletons, doubletons)
+    # A sample can never prove more distincts than the table has rows; and
+    # when the sample covered the whole table, the estimate is exact.
+    if sample_rows >= total_rows:
+        estimate = float(len(uniques))
+    estimate = min(estimate, float(total_rows))
+    minimum = maximum = None
+    if column.dtype is not DataType.STRING:
+        raw = column.values[valid]
+        if len(raw):
+            minimum = raw.min()
+            maximum = raw.max()
+    return ColumnStats(estimate, null_fraction, minimum, maximum)
+
+
+def collect_table_stats(
+    table: Table,
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    seed: int = 0,
+) -> TableStats:
+    """Sample the table and summarize every column."""
+    total = table.num_rows
+    batch = table.to_batch()
+    if total > sample_size:
+        rng = np.random.default_rng(seed)
+        rows = rng.choice(total, size=sample_size, replace=False)
+        batch = batch.take(np.sort(rows))
+    sample_rows = len(batch)
+    columns = {
+        field.name.lower(): _column_stats(col, total, sample_rows)
+        for field, col in zip(batch.schema, batch.columns)
+    }
+    return TableStats(total, columns)
+
+
+class StatisticsCache:
+    """Per-catalog statistics with version-based invalidation."""
+
+    def __init__(self, catalog, sample_size: int = DEFAULT_SAMPLE_SIZE):
+        self._catalog = catalog
+        self._sample_size = sample_size
+        self._cache: Dict[str, tuple] = {}
+
+    def table_stats(self, name: str) -> TableStats:
+        table = self._catalog.get(name)
+        key = name.lower()
+        version = getattr(table, "version", table.num_rows)
+        cached = self._cache.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        stats = collect_table_stats(table, self._sample_size)
+        self._cache[key] = (version, stats)
+        return stats

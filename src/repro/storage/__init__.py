@@ -1,0 +1,32 @@
+"""Columnar storage substrate.
+
+This package provides the physical data plane of the engine:
+
+- :class:`~repro.storage.column.Column` — a typed numpy value vector with an
+  optional validity (non-null) mask.
+- :class:`~repro.storage.batch.Batch` — a horizontal slice of rows, the unit
+  that flows through streaming operators.
+- :class:`~repro.storage.table.Table` / :class:`~repro.storage.table.Catalog`
+  — base relations stored column-wise.
+- :class:`~repro.storage.buffer.TupleBuffer` — the paper's central shared
+  data structure: hash-partitioned chunk lists with physical properties
+  (partitioning, ordering) and permutation vectors.
+- :mod:`~repro.storage.keys` — multi-column key encoding used by hashing,
+  sorting and grouping.
+"""
+
+from .column import Column
+from .batch import Batch
+from .table import Table, Catalog
+from .buffer import TupleBuffer, BufferPartition
+from . import keys
+
+__all__ = [
+    "Column",
+    "Batch",
+    "Table",
+    "Catalog",
+    "TupleBuffer",
+    "BufferPartition",
+    "keys",
+]

@@ -1,0 +1,126 @@
+"""Row batches — the unit flowing through streaming operators.
+
+A :class:`Batch` is a schema plus one :class:`Column` per field, all the same
+length. Streaming LOLEPOPs (and pipelines in general) consume and produce
+lists of batches; a batch corresponds to a morsel of the input.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..types import DataType, Schema
+from .column import Column
+
+
+class Batch:
+    """A fixed-schema slice of rows stored column-wise."""
+
+    __slots__ = ("schema", "columns")
+
+    def __init__(self, schema: Schema, columns: Sequence[Column]):
+        if len(schema) != len(columns):
+            raise ExecutionError(
+                f"batch schema has {len(schema)} fields but {len(columns)} columns given"
+            )
+        lengths = {len(col) for col in columns}
+        if len(lengths) > 1:
+            raise ExecutionError(f"ragged batch: column lengths {sorted(lengths)}")
+        self.schema = schema
+        self.columns: List[Column] = list(columns)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, schema: Schema) -> "Batch":
+        return cls(
+            schema,
+            [Column(f.dtype, np.empty(0, dtype=f.dtype.numpy_dtype)) for f in schema],
+        )
+
+    @classmethod
+    def from_pydict(cls, schema: Schema, data: dict) -> "Batch":
+        """Build a batch from ``{name: list-of-python-values}``."""
+        columns = []
+        for field in schema:
+            if field.name not in data:
+                raise ExecutionError(f"missing column {field.name!r}")
+            columns.append(Column.from_values(field.dtype, data[field.name]))
+        return cls(schema, columns)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def num_rows(self) -> int:
+        return len(self)
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.schema.index_of(name)]
+
+    def take(self, indices: np.ndarray) -> "Batch":
+        return Batch(self.schema, [col.take(indices) for col in self.columns])
+
+    def filter(self, mask: np.ndarray) -> "Batch":
+        return Batch(self.schema, [col.filter(mask) for col in self.columns])
+
+    def slice(self, start: int, stop: int) -> "Batch":
+        return Batch(self.schema, [col.slice(start, stop) for col in self.columns])
+
+    def select(self, names: Sequence[str]) -> "Batch":
+        indices = [self.schema.index_of(name) for name in names]
+        return Batch(
+            Schema([self.schema.fields[i] for i in indices]),
+            [self.columns[i] for i in indices],
+        )
+
+    def with_column(self, name: str, dtype: DataType, column: Column) -> "Batch":
+        """A new batch with one column appended (or replaced if the name
+        already exists)."""
+        existing = self.schema.maybe_index_of(name)
+        if existing is not None:
+            columns = list(self.columns)
+            columns[existing] = column
+            return Batch(self.schema, columns)
+        from ..types import Field
+
+        schema = Schema(list(self.schema.fields) + [Field(name, dtype)])
+        return Batch(schema, list(self.columns) + [column])
+
+    @staticmethod
+    def concat(batches: Sequence["Batch"]) -> "Batch":
+        """Vertically concatenate same-schema batches."""
+        if not batches:
+            raise ExecutionError("cannot concatenate zero batches")
+        schema = batches[0].schema
+        columns = [
+            Column.concat([batch.columns[i] for batch in batches])
+            for i in range(len(schema))
+        ]
+        return Batch(schema, columns)
+
+    def rows(self) -> Iterator[Tuple[Any, ...]]:
+        """Iterate Python tuples (used by tests and result rendering)."""
+        for i in range(len(self)):
+            yield tuple(col.value_at(i) for col in self.columns)
+
+    def to_pydict(self) -> dict:
+        return {
+            field.name: col.to_pylist()
+            for field, col in zip(self.schema, self.columns)
+        }
+
+    def morsels(self, morsel_size: int) -> Iterator["Batch"]:
+        """Split into morsels of at most ``morsel_size`` rows."""
+        total = len(self)
+        if total == 0:
+            yield self
+            return
+        for start in range(0, total, morsel_size):
+            yield self.slice(start, min(start + morsel_size, total))
+
+    def __repr__(self) -> str:
+        return f"Batch({len(self)} rows, {self.schema!r})"

@@ -1,0 +1,204 @@
+"""Typed column vectors with null support.
+
+A :class:`Column` is the smallest physical unit: a numpy array of values plus
+an optional boolean validity mask (``True`` = value present). A missing mask
+means "no nulls", which keeps the common all-valid path allocation-free.
+
+SQL null semantics live here in one place: :meth:`Column.valid_mask` and the
+constructors normalize the representation so operators never need to branch
+on "mask or no mask" more than once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..types import DataType, date_to_days, days_to_date
+
+
+class Column:
+    """A typed value vector with an optional validity mask."""
+
+    __slots__ = ("dtype", "values", "valid")
+
+    def __init__(
+        self,
+        dtype: DataType,
+        values: np.ndarray,
+        valid: Optional[np.ndarray] = None,
+    ):
+        if not isinstance(values, np.ndarray):
+            raise ExecutionError("Column values must be a numpy array")
+        if valid is not None:
+            if valid.shape != values.shape:
+                raise ExecutionError("validity mask shape mismatch")
+            if bool(valid.all()):
+                valid = None  # normalize: all-valid columns carry no mask
+        self.dtype = dtype
+        self.values = values
+        self.valid = valid
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, dtype: DataType, data: Iterable[Any]) -> "Column":
+        """Build a column from Python values; ``None`` becomes NULL."""
+        items = list(data)
+        valid = np.array([item is not None for item in items], dtype=bool)
+        np_dtype = dtype.numpy_dtype
+        if dtype is DataType.STRING:
+            values = np.array(
+                [item if item is not None else "" for item in items], dtype=object
+            )
+        elif dtype is DataType.DATE:
+            values = np.array(
+                [date_to_days(item) if item is not None else 0 for item in items],
+                dtype=np_dtype,
+            )
+        else:
+            fill = False if dtype is DataType.BOOL else 0
+            values = np.array(
+                [item if item is not None else fill for item in items], dtype=np_dtype
+            )
+        return cls(dtype, values, None if bool(valid.all()) else valid)
+
+    @classmethod
+    def constant(cls, dtype: DataType, value: Any, length: int) -> "Column":
+        """A column holding ``value`` repeated ``length`` times."""
+        if value is None:
+            return cls.nulls(dtype, length)
+        if dtype is DataType.DATE:
+            value = date_to_days(value)
+        if dtype is DataType.STRING:
+            values = np.full(length, value, dtype=object)
+        else:
+            values = np.full(length, value, dtype=dtype.numpy_dtype)
+        return cls(dtype, values)
+
+    @classmethod
+    def nulls(cls, dtype: DataType, length: int) -> "Column":
+        """An all-NULL column."""
+        if dtype is DataType.STRING:
+            values = np.full(length, "", dtype=object)
+        else:
+            fill = False if dtype is DataType.BOOL else 0
+            values = np.full(length, fill, dtype=dtype.numpy_dtype)
+        return cls(dtype, values, np.zeros(length, dtype=bool))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def has_nulls(self) -> bool:
+        return self.valid is not None
+
+    def valid_mask(self) -> np.ndarray:
+        """A boolean mask (always materialized) of non-null positions."""
+        if self.valid is None:
+            return np.ones(len(self.values), dtype=bool)
+        return self.valid
+
+    def null_count(self) -> int:
+        if self.valid is None:
+            return 0
+        return int((~self.valid).sum())
+
+    def is_null(self, row: int) -> bool:
+        return self.valid is not None and not bool(self.valid[row])
+
+    def value_at(self, row: int) -> Any:
+        """Python-level value at ``row`` (``None`` for NULL, date objects for
+        DATE columns). Used by result rendering and the naive engine."""
+        if self.is_null(row):
+            return None
+        raw = self.values[row]
+        if self.dtype is DataType.DATE:
+            return days_to_date(int(raw))
+        if self.dtype is DataType.INT64:
+            return int(raw)
+        if self.dtype is DataType.FLOAT64:
+            return float(raw)
+        if self.dtype is DataType.BOOL:
+            return bool(raw)
+        return raw
+
+    def to_pylist(self) -> List[Any]:
+        return [self.value_at(i) for i in range(len(self))]
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "Column":
+        """Gather rows by position (the permutation-vector access path)."""
+        values = self.values[indices]
+        valid = None if self.valid is None else self.valid[indices]
+        return Column(self.dtype, values, valid)
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        values = self.values[mask]
+        valid = None if self.valid is None else self.valid[mask]
+        return Column(self.dtype, values, valid)
+
+    def slice(self, start: int, stop: int) -> "Column":
+        values = self.values[start:stop]
+        valid = None if self.valid is None else self.valid[start:stop]
+        return Column(self.dtype, values, valid)
+
+    @staticmethod
+    def concat(columns: Sequence["Column"]) -> "Column":
+        """Concatenate columns of the same type."""
+        if not columns:
+            raise ExecutionError("cannot concatenate zero columns")
+        dtype = columns[0].dtype
+        if any(col.dtype is not dtype for col in columns):
+            raise ExecutionError("concat over mismatched column types")
+        values = np.concatenate([col.values for col in columns])
+        if any(col.valid is not None for col in columns):
+            valid = np.concatenate([col.valid_mask() for col in columns])
+        else:
+            valid = None
+        return Column(dtype, values, valid)
+
+    def copy(self) -> "Column":
+        valid = None if self.valid is None else self.valid.copy()
+        return Column(self.dtype, self.values.copy(), valid)
+
+    # ------------------------------------------------------------------
+    # Ordering keys
+    # ------------------------------------------------------------------
+    def sort_key(self, descending: bool = False, nulls_last: bool = True) -> np.ndarray:
+        """A numpy array usable as one key of ``np.lexsort``.
+
+        NULLs sort after non-NULLs by default (SQL's ``NULLS LAST``); for
+        string columns the values are rank-encoded first, because object
+        arrays with mixed content cannot be lexsorted directly.
+        """
+        if self.dtype is DataType.STRING:
+            # Rank-encode: unique() on object arrays of str compares lexically.
+            _, codes = np.unique(self.values, return_inverse=True)
+            key = codes.astype(np.int64)
+        elif self.dtype is DataType.BOOL:
+            key = self.values.astype(np.int64)
+        else:
+            key = self.values
+        if descending:
+            if key.dtype == np.float64:
+                key = -key
+            else:
+                key = -key.astype(np.int64)
+        if self.valid is not None:
+            key = key.astype(np.float64, copy=True)
+            key[~self.valid] = np.inf if nulls_last else -np.inf
+        return key
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(v) for v in self.to_pylist()[:6])
+        more = ", ..." if len(self) > 6 else ""
+        return f"Column<{self.dtype.value}>[{preview}{more}]"

@@ -1,0 +1,152 @@
+"""Base relations and the catalog.
+
+A :class:`Table` is a named column store: one :class:`Column` per field,
+append-only. :class:`Catalog` maps names to tables and is owned by the
+top-level :class:`~repro.api.Database`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import CatalogError
+from ..types import DataType, Field, Schema, date_to_days
+from .batch import Batch
+from .column import Column
+
+
+class Table:
+    """A named, schema-ful, append-only column store."""
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name
+        self.schema = schema
+        #: Bumped on every mutation; statistics caches key on it.
+        self.version = 0
+        self._columns: List[Column] = [
+            Column(f.dtype, np.empty(0, dtype=f.dtype.numpy_dtype)) for f in schema
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(self._columns[0]) if self._columns else 0
+
+    def column(self, name: str) -> Column:
+        return self._columns[self.schema.index_of(name)]
+
+    def columns(self) -> List[Column]:
+        return list(self._columns)
+
+    # ------------------------------------------------------------------
+    def insert_pydict(self, data: Dict[str, Iterable[Any]]) -> int:
+        """Append rows given as ``{column: list-of-values}``. Returns the
+        number of rows appended."""
+        unknown = [k for k in data if not self.schema.has(k)]
+        if unknown:
+            raise CatalogError(f"unknown columns in insert: {unknown}")
+        missing = [f.name for f in self.schema if f.name not in data]
+        if missing:
+            raise CatalogError(f"missing columns in insert: {missing}")
+        batch = Batch.from_pydict(self.schema, data)
+        self.insert_batch(batch)
+        return len(batch)
+
+    def insert_arrays(self, data: Dict[str, np.ndarray]) -> int:
+        """Append rows given as numpy arrays (no nulls). This is the fast
+        path used by the TPC-H generator."""
+        columns = []
+        for field in self.schema:
+            if field.name not in data:
+                raise CatalogError(f"missing column in insert: {field.name!r}")
+            raw = np.asarray(data[field.name])
+            if field.dtype is DataType.STRING:
+                values = raw.astype(object)
+            elif field.dtype is DataType.DATE and raw.dtype.kind == "M":
+                # numpy datetime64 arrays: day numbers since the epoch.
+                values = raw.astype("datetime64[D]").astype(np.int32)
+            elif field.dtype is DataType.DATE and raw.dtype.kind not in "iu":
+                values = np.array([date_to_days(v) for v in raw], dtype=np.int32)
+            else:
+                values = raw.astype(field.dtype.numpy_dtype)
+            columns.append(Column(field.dtype, values))
+        batch = Batch(self.schema, columns)
+        self.insert_batch(batch)
+        return len(batch)
+
+    def insert_batch(self, batch: Batch) -> None:
+        if batch.schema.types() != self.schema.types():
+            raise CatalogError(
+                f"schema mismatch inserting into {self.name!r}: "
+                f"{batch.schema!r} vs {self.schema!r}"
+            )
+        if self.num_rows == 0:
+            self._columns = [col.copy() for col in batch.columns]
+        else:
+            self._columns = [
+                Column.concat([mine, theirs])
+                for mine, theirs in zip(self._columns, batch.columns)
+            ]
+        self.version += 1
+
+    def truncate(self) -> None:
+        self._columns = [
+            Column(f.dtype, np.empty(0, dtype=f.dtype.numpy_dtype))
+            for f in self.schema
+        ]
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    def to_batch(self) -> Batch:
+        return Batch(self.schema, list(self._columns))
+
+    def scan(self, morsel_size: Optional[int] = None) -> List[Batch]:
+        """The table as a list of batches (morsels)."""
+        batch = self.to_batch()
+        if morsel_size is None or len(batch) <= morsel_size:
+            return [batch]
+        return list(batch.morsels(morsel_size))
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {self.num_rows} rows)"
+
+
+class Catalog:
+    """Name → table mapping with case-insensitive lookup."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(
+        self, name: str, schema: Union[Schema, Sequence, Dict[str, Any]]
+    ) -> Table:
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table already exists: {name!r}")
+        if isinstance(schema, dict):
+            schema = Schema(Field(col, dtype) for col, dtype in schema.items())
+        elif not isinstance(schema, Schema):
+            schema = Schema(Field(col, dtype) for col, dtype in schema)
+        table = Table(name, schema)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"unknown table: {name!r}")
+        del self._tables[key]
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def get(self, name: str) -> Table:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"unknown table: {name!r}")
+        return self._tables[key]
+
+    def names(self) -> List[str]:
+        return [table.name for table in self._tables.values()]

@@ -1,0 +1,18 @@
+"""TPC-H workload substrate.
+
+:mod:`~repro.tpch.datagen` generates all eight TPC-H tables with dbgen-like
+schemas, key structure and distributions (DESIGN.md §4 item 3 documents the
+substitution); :mod:`~repro.tpch.queries` holds TPC-H Q4/Q5/Q7/Q10/Q12 and
+the paper's modified variants (Figure 7).
+"""
+
+from .datagen import generate_tpch, populate_database, LINEITEM_SCHEMA
+from .queries import TPCH_QUERIES, FIGURE7_VARIANTS
+
+__all__ = [
+    "generate_tpch",
+    "populate_database",
+    "LINEITEM_SCHEMA",
+    "TPCH_QUERIES",
+    "FIGURE7_VARIANTS",
+]

@@ -1,0 +1,290 @@
+"""TPC-H queries 4, 5, 7, 10, 12 and the paper's Figure 7 variants.
+
+Each base query follows the official TPC-H text, spelled with explicit
+JOIN syntax and literal dates (the SQL subset of :mod:`repro.sql`). Q4's
+``EXISTS`` is written as the equivalent SEMI JOIN.
+
+``FIGURE7_VARIANTS[q]`` maps a query id to the paper's modifications:
+``+OSA`` adds one ordered-set aggregate, ``+2xOSA`` two with different
+orderings, ``+G.SET`` appends a grouping set with a prefix of the group key
+(paper §5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+TPCH_QUERIES: Dict[str, str] = {}
+
+TPCH_QUERIES["q1"] = """
+SELECT l_returnflag, l_linestatus,
+       sum(l_quantity) AS sum_qty,
+       sum(l_extendedprice) AS sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       avg(l_quantity) AS avg_qty,
+       avg(l_extendedprice) AS avg_price,
+       avg(l_discount) AS avg_disc,
+       count(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= date '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus
+"""
+
+TPCH_QUERIES["q6"] = """
+SELECT sum(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= date '1994-01-01'
+  AND l_shipdate < date '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24
+"""
+
+TPCH_QUERIES["q4"] = """
+SELECT o_orderpriority, count(*) AS order_count
+FROM orders SEMI JOIN lineitem
+    ON l_orderkey = o_orderkey AND l_commitdate < l_receiptdate
+WHERE o_orderdate >= date '1993-07-01'
+  AND o_orderdate < date '1993-10-01'
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority
+"""
+
+TPCH_QUERIES["q5"] = """
+SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer
+JOIN orders ON c_custkey = o_custkey
+JOIN lineitem ON l_orderkey = o_orderkey
+JOIN supplier ON l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+JOIN nation ON s_nationkey = n_nationkey
+JOIN region ON n_regionkey = r_regionkey
+WHERE r_name = 'ASIA'
+  AND o_orderdate >= date '1994-01-01'
+  AND o_orderdate < date '1995-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC
+"""
+
+TPCH_QUERIES["q7"] = """
+SELECT supp_nation, cust_nation, l_year, sum(volume) AS revenue
+FROM (
+    SELECT n1.n_name AS supp_nation,
+           n2.n_name AS cust_nation,
+           year(l_shipdate) AS l_year,
+           l_extendedprice * (1 - l_discount) AS volume
+    FROM supplier
+    JOIN lineitem ON s_suppkey = l_suppkey
+    JOIN orders ON o_orderkey = l_orderkey
+    JOIN customer ON c_custkey = o_custkey
+    JOIN nation n1 ON s_nationkey = n1.n_nationkey
+    JOIN nation n2 ON c_nationkey = n2.n_nationkey
+    WHERE ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+        OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+      AND l_shipdate BETWEEN date '1995-01-01' AND date '1996-12-31'
+) AS shipping
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY supp_nation, cust_nation, l_year
+"""
+
+TPCH_QUERIES["q10"] = """
+SELECT c_custkey, c_name,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone, c_comment
+FROM customer
+JOIN orders ON c_custkey = o_custkey
+JOIN lineitem ON l_orderkey = o_orderkey
+JOIN nation ON c_nationkey = n_nationkey
+WHERE o_orderdate >= date '1993-10-01'
+  AND o_orderdate < date '1994-01-01'
+  AND l_returnflag = 'R'
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+ORDER BY revenue DESC
+LIMIT 20
+"""
+
+TPCH_QUERIES["q12"] = """
+SELECT l_shipmode,
+       sum(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END) AS high_line_count,
+       sum(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH'
+                THEN 1 ELSE 0 END) AS low_line_count
+FROM orders
+JOIN lineitem ON o_orderkey = l_orderkey
+WHERE l_shipmode IN ('MAIL', 'SHIP')
+  AND l_commitdate < l_receiptdate
+  AND l_shipdate < l_commitdate
+  AND l_receiptdate >= date '1994-01-01'
+  AND l_receiptdate < date '1995-01-01'
+GROUP BY l_shipmode
+ORDER BY l_shipmode
+"""
+
+#: Which tables each query touches (lets tests populate minimally).
+QUERY_TABLES: Dict[str, List[str]] = {
+    "q1": ["lineitem"],
+    "q6": ["lineitem"],
+    "q4": ["orders", "lineitem"],
+    "q5": ["customer", "orders", "lineitem", "supplier", "nation", "region"],
+    "q7": ["supplier", "lineitem", "orders", "customer", "nation"],
+    "q10": ["customer", "orders", "lineitem", "nation"],
+    "q12": ["orders", "lineitem"],
+}
+
+
+def _with_extra_aggregates(sql: str, extras: List[str]) -> str:
+    """Insert extra select items right before FROM (the first top-level one)."""
+    lower = sql.lower()
+    index = lower.index("\nfrom ")
+    return sql[:index] + ",\n       " + ",\n       ".join(extras) + sql[index:]
+
+
+def _with_grouping_sets(sql: str, group_clause: str, extra_item: str = "") -> str:
+    """Replace the GROUP BY clause (up to ORDER BY) with grouping sets."""
+    lower = sql.lower()
+    start = lower.rindex("group by")
+    end = lower.find("order by", start)
+    replaced = sql[:start] + group_clause + "\n"
+    if extra_item:
+        # The added key must also appear in the select list.
+        from_idx = replaced.lower().index("\nfrom ")
+        replaced = (
+            replaced[:from_idx] + ",\n       " + extra_item + replaced[from_idx:]
+        )
+    return replaced
+
+
+def build_figure7_variants() -> Dict[str, Dict[str, str]]:
+    """All Figure 7 query variants: base, +OSA, +2xOSA, and (except Q10)
+    +G.SET."""
+    v: Dict[str, Dict[str, str]] = {}
+
+    q4 = TPCH_QUERIES["q4"]
+    v["q4"] = {
+        "base": q4,
+        "+OSA": _with_extra_aggregates(
+            q4,
+            ["percentile_disc(0.5) WITHIN GROUP (ORDER BY o_totalprice) AS p1"],
+        ),
+        "+2xOSA": _with_extra_aggregates(
+            q4,
+            [
+                "percentile_disc(0.5) WITHIN GROUP (ORDER BY o_totalprice) AS p1",
+                "percentile_disc(0.5) WITHIN GROUP (ORDER BY o_shippriority) AS p2",
+            ],
+        ),
+        "+G.SET": _with_grouping_sets(
+            _with_extra_aggregates(q4, ["o_orderstatus"]).replace(
+                "SELECT o_orderpriority,",
+                "SELECT o_orderpriority,",
+            ),
+            "GROUP BY GROUPING SETS ((o_orderpriority, o_orderstatus), (o_orderpriority))",
+        ),
+    }
+    # +G.SET needs o_orderstatus in the select list and set; rebuild cleanly.
+    v["q4"]["+G.SET"] = """
+SELECT o_orderpriority, o_orderstatus, count(*) AS order_count
+FROM orders SEMI JOIN lineitem
+    ON l_orderkey = o_orderkey AND l_commitdate < l_receiptdate
+WHERE o_orderdate >= date '1993-07-01'
+  AND o_orderdate < date '1993-10-01'
+GROUP BY GROUPING SETS ((o_orderpriority, o_orderstatus), (o_orderpriority))
+"""
+
+    q5 = TPCH_QUERIES["q5"]
+    v["q5"] = {
+        "base": q5,
+        "+OSA": _with_extra_aggregates(
+            q5,
+            ["percentile_disc(0.5) WITHIN GROUP (ORDER BY l_quantity) AS p1"],
+        ),
+        "+2xOSA": _with_extra_aggregates(
+            q5,
+            [
+                "percentile_disc(0.5) WITHIN GROUP (ORDER BY l_quantity) AS p1",
+                "percentile_disc(0.5) WITHIN GROUP (ORDER BY l_discount) AS p2",
+            ],
+        ),
+        "+G.SET": """
+SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer
+JOIN orders ON c_custkey = o_custkey
+JOIN lineitem ON l_orderkey = o_orderkey
+JOIN supplier ON l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+JOIN nation ON s_nationkey = n_nationkey
+JOIN region ON n_regionkey = r_regionkey
+WHERE r_name = 'ASIA'
+  AND o_orderdate >= date '1994-01-01'
+  AND o_orderdate < date '1995-01-01'
+GROUP BY GROUPING SETS ((n_name), ())
+""",
+    }
+
+    q7 = TPCH_QUERIES["q7"]
+    v["q7"] = {
+        "base": q7,
+        "+OSA": _with_extra_aggregates(
+            q7, ["percentile_disc(0.5) WITHIN GROUP (ORDER BY volume) AS p1"]
+        ),
+        "+2xOSA": _with_extra_aggregates(
+            q7,
+            [
+                "percentile_disc(0.5) WITHIN GROUP (ORDER BY volume) AS p1",
+                "percentile_disc(0.5) WITHIN GROUP (ORDER BY l_year) AS p2",
+            ],
+        ),
+        "+G.SET": _with_grouping_sets(
+            q7,
+            "GROUP BY GROUPING SETS ((supp_nation, cust_nation, l_year), "
+            "(supp_nation, cust_nation))",
+        ).replace("ORDER BY supp_nation, cust_nation, l_year\n", ""),
+    }
+
+    q10 = TPCH_QUERIES["q10"]
+    v["q10"] = {
+        "base": q10,
+        "+OSA": _with_extra_aggregates(
+            q10, ["percentile_disc(0.5) WITHIN GROUP (ORDER BY l_quantity) AS p1"]
+        ),
+        "+2xOSA": _with_extra_aggregates(
+            q10,
+            [
+                "percentile_disc(0.5) WITHIN GROUP (ORDER BY l_quantity) AS p1",
+                "percentile_disc(0.5) WITHIN GROUP (ORDER BY l_discount) AS p2",
+            ],
+        ),
+    }
+
+    q12 = TPCH_QUERIES["q12"]
+    v["q12"] = {
+        "base": q12,
+        "+OSA": _with_extra_aggregates(
+            q12, ["percentile_disc(0.5) WITHIN GROUP (ORDER BY l_quantity) AS p1"]
+        ),
+        "+2xOSA": _with_extra_aggregates(
+            q12,
+            [
+                "percentile_disc(0.5) WITHIN GROUP (ORDER BY l_quantity) AS p1",
+                "percentile_disc(0.5) WITHIN GROUP (ORDER BY l_discount) AS p2",
+            ],
+        ),
+        "+G.SET": """
+SELECT l_shipmode, l_linestatus,
+       sum(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END) AS high_line_count,
+       sum(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH'
+                THEN 1 ELSE 0 END) AS low_line_count
+FROM orders
+JOIN lineitem ON o_orderkey = l_orderkey
+WHERE l_shipmode IN ('MAIL', 'SHIP')
+  AND l_commitdate < l_receiptdate
+  AND l_shipdate < l_commitdate
+  AND l_receiptdate >= date '1994-01-01'
+  AND l_receiptdate < date '1995-01-01'
+GROUP BY GROUPING SETS ((l_shipmode, l_linestatus), (l_shipmode))
+""",
+    }
+    return v
+
+
+FIGURE7_VARIANTS = build_figure7_variants()

@@ -1,0 +1,226 @@
+"""SQL type system.
+
+The engine supports the five scalar types that the paper's evaluation needs:
+64-bit integers, 64-bit floats, booleans, strings, and dates. Dates are stored
+as int32 day numbers since 1970-01-01 (proleptic Gregorian), which keeps every
+comparison and sort a plain integer operation — the same trick compiling
+engines use.
+
+A :class:`Field` pairs a column name with a :class:`DataType`; a
+:class:`Schema` is an ordered list of fields with O(1) name lookup.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .errors import BindError, CatalogError
+
+_EPOCH = _dt.date(1970, 1, 1)
+
+
+class DataType(enum.Enum):
+    """Scalar SQL types supported by the engine."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    BOOL = "bool"
+    STRING = "string"
+    DATE = "date"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used for the physical value array."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INT64, DataType.FLOAT64)
+
+    @property
+    def is_orderable(self) -> bool:
+        """All supported types are orderable (booleans order False < True)."""
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DataType.{self.name}"
+
+
+_NUMPY_DTYPES = {
+    DataType.INT64: np.dtype(np.int64),
+    DataType.FLOAT64: np.dtype(np.float64),
+    DataType.BOOL: np.dtype(np.bool_),
+    DataType.STRING: np.dtype(object),
+    DataType.DATE: np.dtype(np.int32),
+}
+
+_TYPE_ALIASES = {
+    "int": DataType.INT64,
+    "integer": DataType.INT64,
+    "bigint": DataType.INT64,
+    "int64": DataType.INT64,
+    "float": DataType.FLOAT64,
+    "double": DataType.FLOAT64,
+    "float64": DataType.FLOAT64,
+    "real": DataType.FLOAT64,
+    "numeric": DataType.FLOAT64,
+    "decimal": DataType.FLOAT64,
+    "bool": DataType.BOOL,
+    "boolean": DataType.BOOL,
+    "string": DataType.STRING,
+    "text": DataType.STRING,
+    "varchar": DataType.STRING,
+    "char": DataType.STRING,
+    "date": DataType.DATE,
+}
+
+
+def parse_type(name: Union[str, DataType]) -> DataType:
+    """Resolve a type name (SQL alias or canonical) to a :class:`DataType`."""
+    if isinstance(name, DataType):
+        return name
+    key = name.strip().lower()
+    # Strip parameters such as varchar(32) / decimal(12, 2).
+    if "(" in key:
+        key = key[: key.index("(")].strip()
+    if key not in _TYPE_ALIASES:
+        raise CatalogError(f"unknown type: {name!r}")
+    return _TYPE_ALIASES[key]
+
+
+def common_numeric_type(left: DataType, right: DataType) -> DataType:
+    """The result type of an arithmetic operation over two numeric types."""
+    if not (left.is_numeric and right.is_numeric):
+        raise BindError(f"expected numeric types, got {left.name} and {right.name}")
+    if DataType.FLOAT64 in (left, right):
+        return DataType.FLOAT64
+    return DataType.INT64
+
+
+def date_to_days(value: Union[str, _dt.date, int]) -> int:
+    """Convert a date literal ('YYYY-MM-DD', datetime.date, or day number) to
+    the int32 day-number representation."""
+    if isinstance(value, bool):
+        raise BindError(f"cannot interpret {value!r} as a date")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, _dt.date):
+        return (value - _EPOCH).days
+    try:
+        parsed = _dt.date.fromisoformat(value)
+    except ValueError as exc:
+        raise BindError(f"invalid date literal {value!r}") from exc
+    return (parsed - _EPOCH).days
+
+
+def days_to_date(days: int) -> _dt.date:
+    """Inverse of :func:`date_to_days`."""
+    return _EPOCH + _dt.timedelta(days=int(days))
+
+
+class Field:
+    """A named, typed column slot in a schema."""
+
+    __slots__ = ("name", "dtype")
+
+    def __init__(self, name: str, dtype: Union[str, DataType]):
+        self.name = name
+        self.dtype = parse_type(dtype)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Field)
+            and self.name == other.name
+            and self.dtype is other.dtype
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.dtype))
+
+    def __repr__(self) -> str:
+        return f"Field({self.name!r}, {self.dtype.value})"
+
+
+class Schema:
+    """An ordered collection of fields with name-based lookup.
+
+    Column names are case-insensitive (folded to lower case), matching the
+    SQL frontend's identifier folding.
+    """
+
+    __slots__ = ("fields", "_index")
+
+    def __init__(self, fields: Iterable[Field] = ()):
+        self.fields: List[Field] = list(fields)
+        self._index = {}
+        for position, field in enumerate(self.fields):
+            key = field.name.lower()
+            if key in self._index:
+                raise CatalogError(f"duplicate column name: {field.name!r}")
+            self._index[key] = position
+
+    @classmethod
+    def of(cls, *pairs: Tuple[str, Union[str, DataType]]) -> "Schema":
+        """Build a schema from (name, type) pairs."""
+        return cls(Field(name, dtype) for name, dtype in pairs)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self.fields)
+
+    def __getitem__(self, item: Union[int, str]) -> Field:
+        if isinstance(item, str):
+            return self.fields[self.index_of(item)]
+        return self.fields[item]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.fields == other.fields
+
+    def names(self) -> List[str]:
+        return [field.name for field in self.fields]
+
+    def types(self) -> List[DataType]:
+        return [field.dtype for field in self.fields]
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def index_of(self, name: str) -> int:
+        key = name.lower()
+        if key not in self._index:
+            raise CatalogError(f"unknown column: {name!r}")
+        return self._index[key]
+
+    def maybe_index_of(self, name: str) -> Optional[int]:
+        return self._index.get(name.lower())
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of the concatenation of two rows (used by joins/combine).
+
+        Name collisions are disambiguated by suffixing the right side, the
+        same way most engines label join outputs.
+        """
+        fields = list(self.fields)
+        taken = {field.name.lower() for field in fields}
+        for field in other.fields:
+            name = field.name
+            suffix = 1
+            while name.lower() in taken:
+                name = f"{field.name}_{suffix}"
+                suffix += 1
+            taken.add(name.lower())
+            fields.append(Field(name, field.dtype))
+        return Schema(fields)
+
+    def select(self, names: Sequence[str]) -> "Schema":
+        return Schema(self[name] for name in names)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f.name}:{f.dtype.value}" for f in self.fields)
+        return f"Schema({inner})"

@@ -1,0 +1,27 @@
+"""Shared assertion helpers for the test suite."""
+
+from __future__ import annotations
+
+ENGINES = ["lolepop", "monolithic", "columnar"]
+
+
+def normalized_rows(result):
+    """Engine-order-independent, float-rounded row list for comparisons."""
+    rows = result.rows() if hasattr(result, "rows") else result
+    out = []
+    for row in rows:
+        out.append(
+            tuple(round(v, 6) if isinstance(v, float) else v for v in row)
+        )
+    return sorted(
+        out, key=lambda t: tuple((x is None, str(type(x)), str(x)) for x in t)
+    )
+
+
+def assert_engines_agree(db, sql, engines=None, config=None):
+    """All listed engines must reproduce the naive row engine's answer."""
+    reference = normalized_rows(db.sql(sql, engine="naive"))
+    for engine in engines if engines is not None else ENGINES:
+        got = normalized_rows(db.sql(sql, engine=engine, config=config))
+        assert got == reference, f"{engine} diverges on: {sql}"
+    return reference

@@ -1,0 +1,78 @@
+"""Tests for the public Database API."""
+
+import numpy as np
+import pytest
+
+from repro import Database, EngineConfig, ReproError
+
+
+@pytest.fixture
+def db():
+    database = Database(num_threads=2)
+    database.create_table("t", {"k": "int64", "v": "float64"})
+    database.insert("t", {"k": [1, 1, 2], "v": [0.5, 1.5, 9.0]})
+    return database
+
+
+class TestCatalogApi:
+    def test_create_insert_query(self, db):
+        result = db.sql("SELECT k, sum(v) FROM t GROUP BY k")
+        assert sorted(result.rows()) == [(1, 2.0), (2, 9.0)]
+
+    def test_insert_numpy_fast_path(self, db):
+        db.create_table("u", {"x": "int64"})
+        db.insert("u", {"x": np.arange(5)})
+        assert db.table("u").num_rows == 5
+
+    def test_drop_table(self, db):
+        db.drop_table("t")
+        with pytest.raises(Exception):
+            db.table("t")
+
+    def test_schema_as_pairs(self, db):
+        table = db.create_table("p", [("a", "int64"), ("b", "string")])
+        assert table.schema.names() == ["a", "b"]
+
+
+class TestQueryApi:
+    def test_engine_selection(self, db):
+        for engine in ("lolepop", "monolithic", "naive", "columnar"):
+            result = db.sql("SELECT sum(v) FROM t", engine=engine)
+            assert result.rows() == [(11.0,)]
+
+    def test_unknown_engine(self, db):
+        with pytest.raises(ReproError):
+            db.sql("SELECT 1 FROM t", engine="duckdb")
+
+    def test_result_accessors(self, db):
+        result = db.sql("SELECT k, sum(v) AS s FROM t GROUP BY k")
+        assert result.schema.names() == ["k", "s"]
+        assert len(result) == 2
+        assert set(result.to_pydict()) == {"k", "s"}
+
+    def test_result_times_populated(self, db):
+        result = db.sql("SELECT sum(v) FROM t")
+        assert result.serial_time > 0
+        assert result.simulated_time > 0
+
+    def test_config_override(self, db):
+        config = EngineConfig(num_threads=4, collect_trace=True)
+        result = db.sql("SELECT k, sum(v) FROM t GROUP BY k", config=config)
+        assert result.trace is not None
+        assert result.trace.records
+
+    def test_explain_logical(self, db):
+        text = db.explain("SELECT k, sum(v) FROM t GROUP BY k")
+        assert "AGGREGATE" in text and "SCAN t" in text
+
+    def test_explain_lolepop(self, db):
+        text = db.explain_lolepop("SELECT k, median(v) FROM t GROUP BY k")
+        assert "PARTITION" in text and "ORDAGG" in text
+
+    def test_explain_lolepop_no_stats(self, db):
+        assert "no statistics region" in db.explain_lolepop("SELECT k FROM t")
+
+    def test_dags_recorded(self, db):
+        result = db.sql("SELECT k, median(v) FROM t GROUP BY k")
+        assert len(result.dags) == 1
+        assert "ORDAGG" in result.dags[0].operator_names()

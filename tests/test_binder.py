@@ -1,0 +1,281 @@
+"""Tests for semantic analysis: plan shapes, normalization, decomposition."""
+
+import pytest
+
+from repro.errors import BindError, NotSupportedError
+from repro.expr.nodes import ColumnRef
+from repro.logical import (
+    Aggregate,
+    Filter,
+    Join,
+    JoinKind,
+    Limit,
+    Project,
+    Scan,
+    Sort,
+    UnionAll,
+    Window,
+)
+from repro.sql import bind, parse_sql
+from repro.storage import Catalog
+from repro.types import DataType
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.create_table(
+        "r", {"a": "int64", "b": "float64", "c": "float64", "d": "date", "s": "string"}
+    )
+    cat.create_table("m", {"a": "int64", "v": "int64"})
+    return cat
+
+
+def plan_of(catalog, sql):
+    return bind(parse_sql(sql), catalog)
+
+
+def find(plan, kind):
+    """First node of the given type in a pre-order walk."""
+    if isinstance(plan, kind):
+        return plan
+    for child in plan.children:
+        found = find(child, kind)
+        if found is not None:
+            return found
+    return None
+
+
+class TestNormalization:
+    def test_aggregate_args_are_column_refs(self, catalog):
+        plan = plan_of(catalog, "SELECT a, sum(b * 2) FROM r GROUP BY a")
+        agg = find(plan, Aggregate)
+        assert all(
+            isinstance(arg, ColumnRef)
+            for call in agg.aggregates
+            for arg in call.args
+        )
+        # The child projection computes the argument expression.
+        child = agg.child
+        assert isinstance(child, Project)
+        assert any(not isinstance(e, ColumnRef) for _, e in child.items)
+
+    def test_group_keys_are_columns(self, catalog):
+        plan = plan_of(catalog, "SELECT a + 1, count(*) FROM r GROUP BY a + 1")
+        agg = find(plan, Aggregate)
+        assert agg.group_names == ["_g0"]
+
+    def test_shared_subaggregates(self, catalog):
+        """avg and var_pop share SUM/COUNT (paper Figure 3 query 0)."""
+        plan = plan_of(
+            catalog, "SELECT a, avg(b), var_pop(b), sum(b), count(b) FROM r GROUP BY a"
+        )
+        agg = find(plan, Aggregate)
+        # sum(b), count(b), sum(b*b): exactly three primitive aggregates.
+        assert len(agg.aggregates) == 3
+        funcs = sorted(c.func for c in agg.aggregates)
+        assert funcs == ["count", "sum", "sum"]
+
+    def test_duplicate_aggregates_interned(self, catalog):
+        plan = plan_of(catalog, "SELECT sum(b), sum(b) + 1 FROM r GROUP BY a")
+        agg = find(plan, Aggregate)
+        assert len(agg.aggregates) == 1
+
+
+class TestDecomposition:
+    def test_median_is_percentile_cont(self, catalog):
+        plan = plan_of(catalog, "SELECT median(b) FROM r GROUP BY a")
+        agg = find(plan, Aggregate)
+        assert agg.aggregates[0].func == "percentile_cont"
+        assert agg.aggregates[0].fraction == 0.5
+
+    def test_mad_builds_window_stage(self, catalog):
+        plan = plan_of(catalog, "SELECT mad(b) FROM r GROUP BY a")
+        window = find(plan, Window)
+        assert window is not None
+        assert window.calls[0].func == "percentile_cont"
+        assert [r.name for r in window.calls[0].partition_by] == ["a"]
+
+    def test_mssd_builds_lead_window(self, catalog):
+        plan = plan_of(
+            catalog, "SELECT mssd(b) WITHIN GROUP (ORDER BY d) FROM r GROUP BY a"
+        )
+        window = find(plan, Window)
+        assert window.calls[0].func == "lead"
+        agg = find(plan, Aggregate)
+        assert sorted(c.func for c in agg.aggregates) == ["count", "sum"]
+
+    def test_nested_aggregate_becomes_window(self, catalog):
+        plan = plan_of(
+            catalog, "SELECT median(b - median(b)) FROM r GROUP BY a"
+        )
+        window = find(plan, Window)
+        assert window.calls[0].func == "percentile_cont"
+        assert window.calls[0].frame.is_whole_partition
+
+    def test_window_inside_aggregate_hoisted(self, catalog):
+        plan = plan_of(
+            catalog,
+            "SELECT sum(pow(lead(b) OVER (PARTITION BY a ORDER BY d) - b, 2)) "
+            "FROM r GROUP BY a",
+        )
+        window = find(plan, Window)
+        agg = find(plan, Aggregate)
+        assert window is not None and agg is not None
+        # Window sits below the aggregation.
+        assert find(agg, Window) is window
+
+    def test_avg_window_decomposed(self, catalog):
+        plan = plan_of(
+            catalog, "SELECT avg(b) OVER (PARTITION BY a ORDER BY d) FROM r"
+        )
+        window = find(plan, Window)
+        assert sorted(c.func for c in window.calls) == ["count", "sum"]
+
+
+class TestJoins:
+    def test_equi_keys_extracted(self, catalog):
+        plan = plan_of(catalog, "SELECT v FROM r JOIN m ON r.a = m.a")
+        join = find(plan, Join)
+        assert join.left_keys == ["a"] and join.right_keys == ["a"]
+
+    def test_side_filters_pushed(self, catalog):
+        plan = plan_of(
+            catalog, "SELECT v FROM r JOIN m ON r.a = m.a AND v > 3 AND b < 1"
+        )
+        join = find(plan, Join)
+        assert isinstance(join.left, Filter)   # b < 1
+        assert isinstance(join.right, Filter)  # v > 3
+
+    def test_residual_becomes_post_filter(self, catalog):
+        plan = plan_of(
+            catalog, "SELECT v FROM r JOIN m ON r.a = m.a AND b < v"
+        )
+        assert isinstance(find(plan, Project).child, Filter)
+
+    def test_exists_becomes_semi_join(self, catalog):
+        plan = plan_of(
+            catalog,
+            "SELECT b FROM r WHERE EXISTS (SELECT 1 FROM m WHERE m.a = r.a AND v > 0)",
+        )
+        join = find(plan, Join)
+        assert join.kind is JoinKind.SEMI
+        assert isinstance(join.right, Filter)
+
+    def test_not_exists_becomes_anti_join(self, catalog):
+        plan = plan_of(
+            catalog,
+            "SELECT b FROM r WHERE NOT EXISTS (SELECT 1 FROM m WHERE m.a = r.a)",
+        )
+        assert find(plan, Join).kind is JoinKind.ANTI
+
+    def test_join_without_equality_rejected(self, catalog):
+        with pytest.raises(NotSupportedError):
+            plan_of(catalog, "SELECT 1 FROM r JOIN m ON b < v")
+
+    def test_self_join_renames(self, catalog):
+        plan = plan_of(
+            catalog, "SELECT m1.v, m2.v FROM m m1 JOIN m m2 ON m1.a = m2.a"
+        )
+        assert plan.schema.names() == ["v", "v_1"]
+
+
+class TestOrderingAndLimits:
+    def test_order_by_alias(self, catalog):
+        plan = plan_of(catalog, "SELECT a, sum(b) AS s FROM r GROUP BY a ORDER BY s")
+        assert isinstance(plan, Sort) and plan.keys == [("s", False)]
+
+    def test_order_by_position(self, catalog):
+        plan = plan_of(catalog, "SELECT a, b FROM r ORDER BY 2 DESC")
+        assert plan.keys == [("b", True)]
+
+    def test_order_by_position_out_of_range(self, catalog):
+        with pytest.raises(BindError):
+            plan_of(catalog, "SELECT a FROM r ORDER BY 5")
+
+    def test_limit_offset(self, catalog):
+        plan = plan_of(catalog, "SELECT a FROM r LIMIT 3 OFFSET 1")
+        assert isinstance(plan, Limit)
+        assert (plan.limit, plan.offset) == (3, 1)
+
+
+class TestMisc:
+    def test_date_coercion(self, catalog):
+        plan = plan_of(catalog, "SELECT a FROM r WHERE d >= '1995-01-01'")
+        predicate = find(plan, Filter).predicate
+        from repro.expr.nodes import Literal
+
+        assert isinstance(predicate.right, Literal)
+        assert predicate.right.dtype is DataType.DATE
+
+    def test_union_all_types_checked(self, catalog):
+        with pytest.raises(Exception):
+            plan_of(catalog, "SELECT a FROM r UNION ALL SELECT s FROM r")
+
+    def test_union_all_plan(self, catalog):
+        plan = plan_of(catalog, "SELECT a FROM r UNION ALL SELECT v FROM m")
+        assert isinstance(plan, UnionAll)
+
+    def test_select_star_expands(self, catalog):
+        plan = plan_of(catalog, "SELECT * FROM m")
+        assert plan.schema.names() == ["a", "v"]
+
+    def test_distinct_becomes_aggregate(self, catalog):
+        plan = plan_of(catalog, "SELECT DISTINCT a FROM r")
+        assert isinstance(plan, Aggregate)
+        assert plan.aggregates == []
+
+    def test_grouping_sets_indices(self, catalog):
+        plan = plan_of(
+            catalog, "SELECT sum(b) FROM r GROUP BY GROUPING SETS ((a, s), (a))"
+        )
+        agg = find(plan, Aggregate)
+        assert agg.grouping_sets == [("a", "s"), ("a",)]
+        assert "grouping_id" in agg.schema.names()
+        assert agg.grouping_id_of(("a",)) == 1
+        assert agg.grouping_id_of(("a", "s")) == 0
+
+    def test_cte_binds(self, catalog):
+        plan = plan_of(
+            catalog,
+            "WITH t AS (SELECT a, b FROM r) SELECT a, sum(b) FROM t GROUP BY a",
+        )
+        assert find(plan, Aggregate) is not None
+
+
+class TestBindErrors:
+    def test_unknown_column(self, catalog):
+        with pytest.raises(BindError):
+            plan_of(catalog, "SELECT zz FROM r")
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(Exception):
+            plan_of(catalog, "SELECT 1 FROM nope")
+
+    def test_bare_column_without_group(self, catalog):
+        with pytest.raises(BindError):
+            plan_of(catalog, "SELECT b, sum(b) FROM r GROUP BY a")
+
+    def test_window_requires_over(self, catalog):
+        with pytest.raises(BindError):
+            plan_of(catalog, "SELECT row_number() FROM r")
+
+    def test_percentile_requires_within_group(self, catalog):
+        with pytest.raises(BindError):
+            plan_of(catalog, "SELECT percentile_disc(0.5) FROM r GROUP BY a")
+
+    def test_percentile_fraction_range(self, catalog):
+        with pytest.raises(BindError):
+            plan_of(
+                catalog,
+                "SELECT percentile_disc(1.5) WITHIN GROUP (ORDER BY b) "
+                "FROM r GROUP BY a",
+            )
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(BindError):
+            plan_of(catalog, "SELECT a FROM r WHERE sum(b) > 1")
+
+    def test_ambiguous_column(self, catalog):
+        with pytest.raises(BindError):
+            plan_of(catalog, "SELECT a FROM r JOIN m ON r.a = m.a WHERE a > 0")

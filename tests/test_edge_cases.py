@@ -1,0 +1,173 @@
+"""Edge-case coverage across operators: empty inputs, exotic key types,
+boundary frames, and odd-but-legal SQL."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro import Database, EngineConfig
+
+from tests.helpers import assert_engines_agree, normalized_rows
+
+
+@pytest.fixture
+def db():
+    database = Database(num_threads=2)
+    database.create_table(
+        "t", {"k": "int64", "s": "string", "d": "date", "x": "float64"}
+    )
+    database.insert(
+        "t",
+        {
+            "k": [1, 1, 2, None],
+            "s": ["b", "a", "b", None],
+            "d": [
+                datetime.date(2020, 1, 2),
+                datetime.date(2020, 1, 1),
+                None,
+                datetime.date(2020, 1, 3),
+            ],
+            "x": [1.5, None, 2.5, 3.5],
+        },
+    )
+    database.create_table("empty", {"k": "int64", "x": "float64"})
+    return database
+
+
+class TestEmptyInputs:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT k, sum(x) FROM empty GROUP BY k",
+            "SELECT k, median(x) FROM empty GROUP BY k",
+            "SELECT k, count(DISTINCT x) FROM empty GROUP BY k",
+            "SELECT k, x, row_number() OVER (PARTITION BY k ORDER BY x) AS rn FROM empty",
+            "SELECT k, x FROM empty ORDER BY x LIMIT 5",
+            "SELECT k, sum(x) FROM empty GROUP BY GROUPING SETS ((k), ())",
+        ],
+        ids=range(6),
+    )
+    def test_empty_table_everywhere(self, db, sql):
+        assert_engines_agree(db, sql)
+
+    def test_global_aggregate_on_empty(self, db):
+        rows = assert_engines_agree(
+            db, "SELECT count(*), sum(x), min(x) FROM empty"
+        )
+        assert rows == [(0, None, None)]
+
+
+class TestNullKeys:
+    def test_null_group_key(self, db):
+        rows = assert_engines_agree(db, "SELECT k, count(*) FROM t GROUP BY k")
+        assert (None, 1) in rows
+
+    def test_null_partition_key_window(self, db):
+        assert_engines_agree(
+            db,
+            "SELECT k, x, row_number() OVER (PARTITION BY k ORDER BY x) AS rn "
+            "FROM t",
+        )
+
+    def test_null_string_and_date_keys(self, db):
+        assert_engines_agree(db, "SELECT s, count(*) FROM t GROUP BY s")
+        assert_engines_agree(db, "SELECT d, count(*) FROM t GROUP BY d")
+
+
+class TestMixedKeyTypes:
+    def test_group_by_date(self, db):
+        rows = assert_engines_agree(
+            db, "SELECT d, sum(x) FROM t GROUP BY d"
+        )
+        assert len(rows) == 4  # three dates + NULL
+
+    def test_sort_by_string_desc(self, db):
+        result = db.sql("SELECT s FROM t ORDER BY s DESC")
+        values = [r[0] for r in result.rows()]
+        assert values == ["b", "b", "a", None]  # NULLS LAST even DESC
+
+    def test_merge_string_keys_across_partitions(self, db):
+        # Exercises the multi-batch merge fallback path for strings.
+        config = EngineConfig(num_partitions=4, morsel_size=2)
+        assert_engines_agree(
+            db, "SELECT s, x FROM t ORDER BY s", engines=["lolepop"],
+            config=config,
+        )
+
+    def test_percentile_over_dates(self, db):
+        rows = assert_engines_agree(
+            db,
+            "SELECT percentile_disc(0.5) WITHIN GROUP (ORDER BY d) FROM t",
+        )
+        assert rows == [(datetime.date(2020, 1, 2),)]
+
+
+class TestBoundaryFrames:
+    def test_frame_entirely_before_partition(self, db):
+        assert_engines_agree(
+            db,
+            "SELECT k, x, sum(x) OVER (PARTITION BY k ORDER BY x, s "
+            "ROWS BETWEEN 5 PRECEDING AND 3 PRECEDING) AS s2 FROM t",
+            engines=["lolepop"],
+        )
+
+    def test_frame_entirely_after_partition(self, db):
+        assert_engines_agree(
+            db,
+            "SELECT k, x, count(x) OVER (PARTITION BY k ORDER BY x, s "
+            "ROWS BETWEEN 3 FOLLOWING AND 5 FOLLOWING) AS c FROM t",
+            engines=["lolepop"],
+        )
+
+    def test_nth_value_beyond_frame_is_null(self, db):
+        rows = db.sql(
+            "SELECT k, nth_value(x, 9) OVER (PARTITION BY k ORDER BY x "
+            "ROWS BETWEEN UNBOUNDED PRECEDING AND UNBOUNDED FOLLOWING) AS n "
+            "FROM t"
+        ).rows()
+        assert all(n is None for _, n in rows)
+
+
+class TestOddButLegal:
+    def test_limit_zero(self, db):
+        assert len(db.sql("SELECT k FROM t LIMIT 0")) == 0
+
+    def test_offset_beyond_rows(self, db):
+        assert len(db.sql("SELECT k FROM t ORDER BY k LIMIT 10 OFFSET 99")) == 0
+
+    def test_group_by_constant_expression(self, db):
+        rows = assert_engines_agree(
+            db, "SELECT k % 2 AS parity, count(*) FROM t GROUP BY k % 2"
+        )
+        assert len(rows) == 3  # 0, 1, NULL
+
+    def test_having_without_matching_groups(self, db):
+        rows = db.sql(
+            "SELECT k, count(*) FROM t GROUP BY k HAVING count(*) > 99"
+        ).rows()
+        assert rows == []
+
+    def test_duplicate_order_keys(self, db):
+        assert_engines_agree(db, "SELECT k, x FROM t ORDER BY k, k, x")
+
+    def test_single_row_table(self):
+        db = Database()
+        db.create_table("one", {"x": "int64"})
+        db.insert("one", {"x": [7]})
+        assert_engines_agree(
+            db,
+            "SELECT x, sum(x) OVER (ORDER BY x) AS s, median(x) OVER () AS m "
+            "FROM one",
+        )
+
+    def test_distinct_star_like_all_columns(self, db):
+        rows = assert_engines_agree(db, "SELECT DISTINCT k, s FROM t")
+        assert len(rows) == 4
+
+    def test_union_all_mixed_engines(self, db):
+        assert_engines_agree(
+            db,
+            "SELECT k, sum(x) FROM t GROUP BY k "
+            "UNION ALL SELECT k, x FROM empty",
+        )

@@ -1,0 +1,172 @@
+"""Differential tests: every vectorized engine must reproduce the naive row
+engine's answer on a battery of fixed queries plus randomized data."""
+
+import numpy as np
+import pytest
+
+from repro import Database, EngineConfig
+
+from tests.helpers import ENGINES, assert_engines_agree
+
+FIXED_QUERIES = [
+    # associative flavors
+    "SELECT k, sum(q), count(*), count(e), min(e), max(e) FROM r GROUP BY k",
+    "SELECT k, min(s), max(s), any(s) IS NOT NULL AS has FROM r GROUP BY k",
+    "SELECT sum(q), count(*) FROM r",
+    "SELECT count(*) FROM r",  # regression: zero-column pre-projection
+    "SELECT k, bool_and(b), bool_or(b) FROM r GROUP BY k",
+    # distinct
+    "SELECT k, count(DISTINCT n), sum(DISTINCT n) FROM r GROUP BY k",
+    "SELECT count(DISTINCT s) FROM r",
+    "SELECT k, avg(DISTINCT n) FROM r GROUP BY k",
+    # ordered-set
+    "SELECT k, percentile_disc(0.5) WITHIN GROUP (ORDER BY q) FROM r GROUP BY k",
+    "SELECT k, percentile_disc(0.25) WITHIN GROUP (ORDER BY q DESC) FROM r GROUP BY k",
+    "SELECT k, percentile_cont(0.9) WITHIN GROUP (ORDER BY e) FROM r GROUP BY k",
+    "SELECT k, median(q), median(e) FROM r GROUP BY k",
+    "SELECT percentile_disc(0.5) WITHIN GROUP (ORDER BY q) FROM r",
+    # mixed: ordered-set + associative + distinct (Figure 3 plan 2 shape)
+    (
+        "SELECT k, sum(q), sum(DISTINCT n), "
+        "percentile_disc(0.5) WITHIN GROUP (ORDER BY q), "
+        "percentile_disc(0.5) WITHIN GROUP (ORDER BY e) FROM r GROUP BY k"
+    ),
+    # composed
+    "SELECT k, avg(e), var_pop(e), var_samp(e), stddev_pop(e), stddev_samp(e) FROM r GROUP BY k",
+    # grouping sets / rollup / cube
+    "SELECT k, n, sum(q) FROM r GROUP BY GROUPING SETS ((k, n), (k), (n))",
+    "SELECT k, n, sum(q), grouping_id FROM r GROUP BY GROUPING SETS ((k, n), (k))",
+    "SELECT k, n, count(*) FROM r GROUP BY ROLLUP (k, n)",
+    "SELECT k, n, sum(q) FROM r GROUP BY CUBE (k, n)",
+    "SELECT k, n, percentile_disc(0.5) WITHIN GROUP (ORDER BY q) FROM r "
+    "GROUP BY GROUPING SETS ((k, n), (k))",
+    # expressions in keys and args
+    "SELECT n + 1 AS n1, sum(q * 2) FROM r GROUP BY n + 1",
+    "SELECT k, sum(CASE WHEN q > 0.5 THEN 1 ELSE 0 END) FROM r GROUP BY k",
+    # HAVING / ORDER BY / LIMIT
+    "SELECT k, sum(q) AS s FROM r GROUP BY k HAVING count(*) > 50 ORDER BY s DESC",
+    "SELECT k, count(*) AS c FROM r GROUP BY k ORDER BY c DESC, k LIMIT 3",
+    "SELECT s, e FROM r WHERE e IS NOT NULL ORDER BY e LIMIT 10 OFFSET 5",
+    # windows (deterministic orderings)
+    "SELECT k, q, row_number() OVER (PARTITION BY k ORDER BY q, e, d) AS rn FROM r",
+    "SELECT k, q, rank() OVER (PARTITION BY k ORDER BY n) AS rk, "
+    "dense_rank() OVER (PARTITION BY k ORDER BY n) AS dr FROM r",
+    "SELECT k, lag(q) OVER (PARTITION BY k ORDER BY q, e, d) AS lg, "
+    "lead(q, 2) OVER (PARTITION BY k ORDER BY q, e, d) AS ld FROM r",
+    "SELECT k, sum(q) OVER (PARTITION BY k ORDER BY q, e, d) AS cs FROM r",
+    "SELECT k, min(q) OVER (PARTITION BY k ORDER BY q, e, d "
+    "ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) AS mw FROM r",
+    "SELECT k, first_value(q) OVER (PARTITION BY k ORDER BY q, e, d) AS fv, "
+    "last_value(q) OVER (PARTITION BY k ORDER BY q, e, d) AS lv FROM r",
+    "SELECT k, ntile(4) OVER (PARTITION BY k ORDER BY q, e, d) AS nt FROM r",
+    "SELECT k, cume_dist() OVER (PARTITION BY k ORDER BY n) AS cd FROM r",
+    "SELECT s, sum(q) OVER (PARTITION BY s) AS total FROM r",
+    # nested aggregates
+    "SELECT k, mad(q) FROM r GROUP BY k",
+    "SELECT k, median(q - median(q)) FROM r GROUP BY k",
+    "SELECT k, mssd(q) WITHIN GROUP (ORDER BY d) FROM r GROUP BY k",
+    "SELECT k, sum(pow(lead(q) OVER (PARTITION BY k ORDER BY d, q, e) - q, 2)) "
+    "/ nullif(count(*) - 1, 0) AS m FROM r GROUP BY k",
+    # nested aggregation regions
+    "SELECT percentile_disc(0.5) WITHIN GROUP (ORDER BY t) FROM "
+    "(SELECT sum(q) AS t FROM r GROUP BY k) AS sub",
+    "SELECT n2, count(*) FROM (SELECT k, count(*) AS n2 FROM r GROUP BY k) AS c "
+    "GROUP BY n2",
+    # CTE + window + aggregate (the paper's introductory query)
+    (
+        "WITH diffs AS (SELECT k, n, q - lag(q) OVER (ORDER BY d, q, e) AS delta FROM r) "
+        "SELECT k, avg(delta), median(delta), count(DISTINCT delta) "
+        "FROM diffs GROUP BY k"
+    ),
+    # set operations
+    "SELECT k, sum(q) FROM r GROUP BY k UNION ALL SELECT n, sum(e) FROM r GROUP BY n",
+    "SELECT DISTINCT k, n FROM r",
+    # strings
+    "SELECT s, count(*) FROM r WHERE s LIKE '%e%' GROUP BY s",
+    "SELECT upper(s) AS u, count(*) FROM r GROUP BY upper(s)",
+]
+
+
+@pytest.mark.parametrize("sql", FIXED_QUERIES, ids=range(len(FIXED_QUERIES)))
+def test_engines_agree_on_fixed_query(db, sql):
+    assert_engines_agree(db, sql)
+
+
+@pytest.mark.parametrize("threads", [1, 4])
+def test_thread_count_does_not_change_results(db, threads):
+    sql = (
+        "SELECT k, sum(q), count(DISTINCT n), "
+        "percentile_disc(0.5) WITHIN GROUP (ORDER BY q) FROM r GROUP BY k"
+    )
+    config = EngineConfig(num_threads=threads, num_partitions=16)
+    assert_engines_agree(db, sql, config=config)
+
+
+@pytest.mark.parametrize("partitions", [1, 3, 64])
+def test_partition_count_does_not_change_results(db, partitions):
+    sql = "SELECT k, median(q), sum(DISTINCT n) FROM r GROUP BY k"
+    config = EngineConfig(num_partitions=partitions)
+    assert_engines_agree(db, sql, config=config)
+
+
+@pytest.mark.parametrize("morsel", [7, 100, 10_000])
+def test_morsel_size_does_not_change_results(db, morsel):
+    sql = "SELECT k, n, sum(q) FROM r GROUP BY GROUPING SETS ((k, n), (n))"
+    config = EngineConfig(morsel_size=morsel)
+    assert_engines_agree(db, sql, engines=["lolepop", "monolithic"], config=config)
+
+
+ABLATION_FLAGS = [
+    {"reuse_buffers": False},
+    {"elide_sorts": False},
+    {"remove_redundant_combines": False},
+    {"reaggregate_grouping_sets": False},
+    {"two_phase_hashagg": False},
+    {"permutation_vectors": False},
+]
+
+
+@pytest.mark.parametrize("flags", ABLATION_FLAGS, ids=lambda f: next(iter(f)))
+def test_ablation_flags_preserve_results(db, flags):
+    """Every optimizer ablation changes the plan, never the answer."""
+    queries = [
+        "SELECT k, sum(q), sum(DISTINCT n), "
+        "percentile_disc(0.5) WITHIN GROUP (ORDER BY q) FROM r GROUP BY k",
+        "SELECT k, n, sum(q) FROM r GROUP BY GROUPING SETS ((k, n), (k), (n))",
+        "SELECT k, mad(q) FROM r GROUP BY k",
+    ]
+    config = EngineConfig(num_threads=2, **flags)
+    for sql in queries:
+        assert_engines_agree(db, sql, engines=["lolepop"], config=config)
+
+
+def test_randomized_differential():
+    """Randomized data + a grammar of query shapes, all engines."""
+    rng = np.random.default_rng(123)
+    for round_number in range(3):
+        database = Database(num_threads=2)
+        database.create_table("t", {"g": "int64", "h": "int64", "x": "float64"})
+        size = int(rng.integers(30, 300))
+        database.insert(
+            "t",
+            {
+                "g": [int(v) for v in rng.integers(0, 5, size)],
+                "h": [
+                    int(v) if v < 3 else None for v in rng.integers(0, 4, size)
+                ],
+                "x": [
+                    round(float(v), 3) if v > 0.05 else None
+                    for v in rng.random(size)
+                ],
+            },
+        )
+        queries = [
+            "SELECT g, sum(x), count(x), count(*) FROM t GROUP BY g",
+            "SELECT g, h, sum(x) FROM t GROUP BY GROUPING SETS ((g, h), (g))",
+            "SELECT g, median(x), count(DISTINCT h) FROM t GROUP BY g",
+            "SELECT g, x, sum(x) OVER (PARTITION BY g ORDER BY x, h) AS c FROM t "
+            "WHERE x IS NOT NULL",
+            "SELECT g, mad(x) FROM t GROUP BY g",
+        ]
+        for sql in queries:
+            assert_engines_agree(database, sql)

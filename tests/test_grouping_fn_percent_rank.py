@@ -1,0 +1,117 @@
+"""Tests for GROUPING(), percent_rank, and EXPLAIN statements."""
+
+import pytest
+
+from repro import Database
+from repro.errors import BindError
+
+from tests.helpers import assert_engines_agree
+
+
+@pytest.fixture
+def db():
+    database = Database(num_threads=2)
+    database.create_table("t", {"a": "int64", "b": "int64", "x": "int64"})
+    database.insert(
+        "t",
+        {
+            "a": [1, 1, 2, 2, 2],
+            "b": [10, 20, 10, 10, 30],
+            "x": [1, 2, 3, 4, 5],
+        },
+    )
+    return database
+
+
+class TestGroupingFunction:
+    def test_marks_aggregated_keys(self, db):
+        rows = db.sql(
+            "SELECT a, b, sum(x), grouping(a) AS ga, grouping(b) AS gb "
+            "FROM t GROUP BY GROUPING SETS ((a, b), (a), ())"
+        ).rows()
+        for a, b, _, ga, gb in rows:
+            assert ga == (1 if a is None else 0)
+            assert gb == (1 if b is None else 0)
+
+    def test_rollup(self, db):
+        rows = db.sql(
+            "SELECT a, grouping(a) AS ga, count(*) FROM t GROUP BY ROLLUP (a)"
+        ).rows()
+        totals = [r for r in rows if r[1] == 1]
+        assert len(totals) == 1 and totals[0][2] == 5
+
+    def test_engines_agree(self, db):
+        assert_engines_agree(
+            db,
+            "SELECT a, b, sum(x), grouping(a) AS ga, grouping(b) AS gb "
+            "FROM t GROUP BY GROUPING SETS ((a, b), (b))",
+        )
+
+    def test_requires_grouping_sets(self, db):
+        with pytest.raises(BindError):
+            db.plan("SELECT a, grouping(a) FROM t GROUP BY a")
+
+    def test_argument_must_be_key(self, db):
+        with pytest.raises(BindError):
+            db.plan(
+                "SELECT a, grouping(x) FROM t GROUP BY GROUPING SETS ((a), ())"
+            )
+
+
+class TestPercentRank:
+    def test_values(self, db):
+        rows = db.sql(
+            "SELECT a, x, percent_rank() OVER (PARTITION BY a ORDER BY x) AS pr "
+            "FROM t"
+        ).rows()
+        by_a = {}
+        for a, x, pr in sorted(rows):
+            by_a.setdefault(a, []).append(pr)
+        assert by_a[1] == [0.0, 1.0]
+        assert by_a[2] == [0.0, 0.5, 1.0]
+
+    def test_single_row_partition_is_zero(self):
+        db = Database()
+        db.create_table("s", {"x": "int64"})
+        db.insert("s", {"x": [42]})
+        rows = db.sql(
+            "SELECT percent_rank() OVER (ORDER BY x) AS pr FROM s"
+        ).rows()
+        assert rows == [(0.0,)]
+
+    def test_ties_share_rank(self, db):
+        rows = db.sql(
+            "SELECT b, percent_rank() OVER (ORDER BY b) AS pr FROM t"
+        ).rows()
+        tens = {pr for b, pr in rows if b == 10}
+        assert tens == {0.0}
+
+    def test_engines_agree(self, db):
+        assert_engines_agree(
+            db,
+            "SELECT a, x, percent_rank() OVER (PARTITION BY a ORDER BY b, x) AS pr "
+            "FROM t",
+        )
+
+
+class TestExplainStatement:
+    def test_explain_logical(self, db):
+        result = db.sql("EXPLAIN SELECT a, sum(x) FROM t GROUP BY a")
+        text = "\n".join(r[0] for r in result.rows())
+        assert "AGGREGATE" in text and "SCAN t" in text
+
+    def test_explain_lolepop(self, db):
+        result = db.sql("EXPLAIN LOLEPOP SELECT a, median(x) FROM t GROUP BY a")
+        text = "\n".join(r[0] for r in result.rows())
+        assert "ORDAGG" in text
+
+    def test_explain_in_shell(self):
+        import io
+
+        from repro.shell import Shell
+
+        out = io.StringIO()
+        shell = Shell(out=out)
+        shell.db.create_table("t", {"a": "int64"})
+        shell.execute_line("EXPLAIN SELECT a FROM t")
+        assert "SCAN t" in out.getvalue()

@@ -1,0 +1,100 @@
+"""Tests for the vectorized hash join."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import HashJoinTable
+from repro.storage import Batch
+from repro.types import Schema
+
+LEFT = Schema.of(("k", "int64"), ("l", "string"))
+RIGHT = Schema.of(("k", "int64"), ("r", "string"))
+
+
+def left_batch(ks, ls):
+    return Batch.from_pydict(LEFT, {"k": ks, "l": ls})
+
+
+def right_batch(ks, rs):
+    return Batch.from_pydict(RIGHT, {"k": ks, "r": rs})
+
+
+class TestInnerJoin:
+    def test_basic_match_expansion(self):
+        table = HashJoinTable(right_batch([1, 2, 2], ["a", "b", "c"]), ["k"])
+        out = table.probe(left_batch([2, 3, 1], ["x", "y", "z"]), ["k"])
+        rows = sorted(out.rows())
+        assert rows == [(1, "z", 1, "a"), (2, "x", 2, "b"), (2, "x", 2, "c")]
+
+    def test_null_keys_never_match(self):
+        table = HashJoinTable(right_batch([1, None], ["a", "b"]), ["k"])
+        out = table.probe(left_batch([1, None], ["x", "y"]), ["k"])
+        assert sorted(out.rows()) == [(1, "x", 1, "a")]
+
+    def test_schema_rename_on_collision(self):
+        table = HashJoinTable(right_batch([1], ["a"]), ["k"])
+        out = table.probe(left_batch([1], ["x"]), ["k"])
+        assert out.schema.names() == ["k", "l", "k_1", "r"]
+
+    def test_empty_build(self):
+        table = HashJoinTable(right_batch([], []), ["k"])
+        out = table.probe(left_batch([1], ["x"]), ["k"])
+        assert len(out) == 0
+
+
+class TestLeftJoin:
+    def test_unmatched_rows_padded(self):
+        table = HashJoinTable(right_batch([1], ["a"]), ["k"])
+        out = table.probe(left_batch([1, 9], ["x", "y"]), ["k"], left_outer=True)
+        rows = sorted(out.rows(), key=lambda r: r[0])
+        assert rows[0] == (1, "x", 1, "a")
+        assert rows[1] == (9, "y", None, None)
+
+
+class TestSemiMask:
+    def test_mask(self):
+        table = HashJoinTable(right_batch([1, 1, 3], ["a", "b", "c"]), ["k"])
+        mask = table.semi_mask(left_batch([1, 2, 3], ["x", "y", "z"]), ["k"])
+        assert list(mask) == [True, False, True]
+
+
+class TestStringKeys:
+    def test_cross_batch_string_keys(self):
+        """Regression: string keys must compare across build/probe batches."""
+        build = Batch.from_pydict(
+            Schema.of(("s", "string"), ("v", "int64")),
+            {"s": ["HIGH", "LOW"], "v": [1, 2]},
+        )
+        probe = Batch.from_pydict(
+            Schema.of(("s", "string")), {"s": ["LOW", "MED", "HIGH"]}
+        )
+        table = HashJoinTable(build, ["s"])
+        out = table.probe(probe, ["s"])
+        assert sorted(out.rows()) == [
+            ("HIGH", "HIGH", 1),
+            ("LOW", "LOW", 2),
+        ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(0, 8), max_size=40),
+    st.lists(st.integers(0, 8), max_size=40),
+)
+def test_inner_join_matches_nested_loop(build_keys, probe_keys):
+    """Property: hash join output equals the nested-loop definition."""
+    build = right_batch(build_keys, [f"b{i}" for i in range(len(build_keys))])
+    probe = left_batch(probe_keys, [f"p{i}" for i in range(len(probe_keys))])
+    if len(build) == 0:
+        return
+    table = HashJoinTable(build, ["k"])
+    got = sorted(table.probe(probe, ["k"]).rows())
+    expected = sorted(
+        (pk, f"p{pi}", bk, f"b{bi}")
+        for pi, pk in enumerate(probe_keys)
+        for bi, bk in enumerate(build_keys)
+        if pk == bk
+    )
+    assert got == expected

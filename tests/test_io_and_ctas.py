@@ -1,0 +1,155 @@
+"""Tests for CSV import, CREATE TABLE AS, and the profiling API."""
+
+import datetime
+import io
+import textwrap
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.errors import CatalogError, ExecutionError
+from repro.io_csv import infer_column_type, read_csv
+from repro.types import DataType
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(
+        textwrap.dedent(
+            """\
+            id,price,day,flag,note
+            1,1.5,2024-01-01,true,alpha
+            2,2.0,2024-02-01,false,
+            3,,2024-03-01,true,gamma
+            """
+        )
+    )
+    return str(path)
+
+
+class TestInference:
+    def test_int(self):
+        assert infer_column_type(["1", "2", ""]) is DataType.INT64
+
+    def test_float_fallback(self):
+        assert infer_column_type(["1", "2.5"]) is DataType.FLOAT64
+
+    def test_date(self):
+        assert infer_column_type(["2024-01-01"]) is DataType.DATE
+
+    def test_bool(self):
+        assert infer_column_type(["true", "F"]) is DataType.BOOL
+
+    def test_string_fallback(self):
+        assert infer_column_type(["1", "x"]) is DataType.STRING
+
+    def test_all_empty_defaults_int(self):
+        assert infer_column_type(["", ""]) is DataType.INT64
+
+
+class TestReadCsv:
+    def test_schema_and_values(self, csv_file):
+        schema, data = read_csv(csv_file)
+        assert [f.dtype for f in schema] == [
+            DataType.INT64, DataType.FLOAT64, DataType.DATE,
+            DataType.BOOL, DataType.STRING,
+        ]
+        assert data["price"] == [1.5, 2.0, None]
+        assert data["day"][0] == datetime.date(2024, 1, 1)
+        assert data["note"] == ["alpha", None, "gamma"]
+
+    def test_headerless(self, tmp_path):
+        path = tmp_path / "nh.csv"
+        path.write_text("1,a\n2,b\n")
+        schema, data = read_csv(str(path), header=False)
+        assert schema.names() == ["c0", "c1"]
+        assert data["c1"] == ["a", "b"]
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(CatalogError):
+            read_csv(str(path))
+
+
+class TestDatabaseCsv:
+    def test_load_and_query(self, csv_file):
+        db = Database()
+        db.load_csv("items", csv_file)
+        rows = db.sql(
+            "SELECT count(*), sum(price), min(day) FROM items"
+        ).rows()
+        assert rows[0][0] == 3
+        assert rows[0][1] == pytest.approx(3.5)
+        assert rows[0][2] == datetime.date(2024, 1, 1)
+
+    def test_explicit_schema(self, csv_file):
+        from repro.types import Schema
+
+        db = Database()
+        schema = Schema.of(
+            ("id", "string"), ("price", "string"), ("day", "string"),
+            ("flag", "string"), ("note", "string"),
+        )
+        table = db.load_csv("raw", csv_file, schema=schema)
+        assert all(f.dtype is DataType.STRING for f in table.schema)
+
+
+class TestCreateTableAs:
+    def test_materializes_aggregate(self):
+        db = Database()
+        db.create_table("t", {"g": "int64", "x": "int64"})
+        db.insert("t", {"g": [1, 1, 2], "x": [10, 20, 30]})
+        table = db.create_table_as(
+            "summary", "SELECT g, sum(x) AS total FROM t GROUP BY g"
+        )
+        assert table.num_rows == 2
+        rows = sorted(db.sql("SELECT g, total FROM summary").rows())
+        assert rows == [(1, 30), (2, 30)]
+
+    def test_empty_result(self):
+        db = Database()
+        db.create_table("t", {"x": "int64"})
+        table = db.create_table_as("e", "SELECT x FROM t WHERE x > 0")
+        assert table.num_rows == 0
+
+
+class TestProfileApi:
+    def test_operator_summary(self):
+        db = Database()
+        db.create_table("t", {"g": "int64", "x": "float64"})
+        db.insert("t", {"g": [1, 2, 1], "x": [0.5, 1.0, 2.0]})
+        result = db.sql(
+            "SELECT g, median(x) FROM t GROUP BY g",
+            config=EngineConfig(collect_trace=True),
+        )
+        summary = result.operator_summary()
+        assert "ordagg" in summary
+        work, count = summary["ordagg"]
+        assert work >= 0 and count >= 1
+
+    def test_summary_requires_trace(self):
+        db = Database()
+        db.create_table("t", {"x": "int64"})
+        db.insert("t", {"x": [1]})
+        result = db.sql("SELECT sum(x) FROM t")
+        with pytest.raises(ExecutionError):
+            result.operator_summary()
+
+    def test_pretty(self):
+        db = Database()
+        db.create_table("t", {"x": "int64"})
+        db.insert("t", {"x": [1, 2]})
+        text = db.sql("SELECT sum(x) AS s FROM t").pretty()
+        assert "| s |" in text and "| 3 |" in text
+
+    def test_shell_profile(self):
+        from repro.shell import Shell
+
+        out = io.StringIO()
+        shell = Shell(out=out)
+        shell.db.create_table("t", {"x": "int64"})
+        shell.db.insert("t", {"x": [1, 2, 3]})
+        shell.execute_line(".profile SELECT x, count(*) FROM t GROUP BY x")
+        assert "work items" in out.getvalue()

@@ -1,0 +1,158 @@
+"""Tests for grouped-reduction kernels and ordered-set math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.relational import MERGE_FUNC, grouped_reduce, merge_reduce, percentile_from_sorted
+from repro.storage import Column
+from repro.types import DataType
+
+
+def int_col(values):
+    return Column.from_values(DataType.INT64, values)
+
+
+def float_col(values):
+    return Column.from_values(DataType.FLOAT64, values)
+
+
+CODES = np.array([0, 1, 0, 2, 1])
+
+
+class TestGroupedReduce:
+    def test_sum_int_exact(self):
+        out = grouped_reduce("sum", int_col([1, 2, 3, 4, 5]), CODES, 3)
+        assert out.to_pylist() == [4, 7, 4]
+        assert out.dtype is DataType.INT64
+
+    def test_sum_skips_nulls(self):
+        out = grouped_reduce("sum", int_col([1, None, 3, None, 5]), CODES, 3)
+        assert out.to_pylist() == [4, 5, None]
+
+    def test_count(self):
+        out = grouped_reduce("count", int_col([1, None, 3, None, 5]), CODES, 3)
+        assert out.to_pylist() == [2, 1, 0]
+
+    def test_count_star(self):
+        out = grouped_reduce("count_star", None, CODES, 3)
+        assert out.to_pylist() == [2, 2, 1]
+
+    def test_min_max(self):
+        col = float_col([5.0, 1.0, 2.0, 9.0, 7.0])
+        assert grouped_reduce("min", col, CODES, 3).to_pylist() == [2.0, 1.0, 9.0]
+        assert grouped_reduce("max", col, CODES, 3).to_pylist() == [5.0, 7.0, 9.0]
+
+    def test_min_int_keeps_type(self):
+        out = grouped_reduce("min", int_col([5, 1, 2, 9, 7]), CODES, 3)
+        assert out.dtype is DataType.INT64
+        assert out.to_pylist() == [2, 1, 9]
+
+    def test_min_strings(self):
+        col = Column.from_values(DataType.STRING, ["e", "b", "a", "z", "c"])
+        out = grouped_reduce("min", col, CODES, 3)
+        assert out.to_pylist() == ["a", "b", "z"]
+
+    def test_any_first_nonnull(self):
+        out = grouped_reduce("any", int_col([None, 2, 3, None, 5]), CODES, 3)
+        assert out.to_pylist() == [3, 2, None]
+
+    def test_bool_aggregates(self):
+        col = Column.from_values(DataType.BOOL, [True, False, True, None, False])
+        assert grouped_reduce("bool_and", col, CODES, 3).to_pylist() == [
+            True, False, None,
+        ]
+        assert grouped_reduce("bool_or", col, CODES, 3).to_pylist() == [
+            True, False, None,
+        ]
+
+    def test_empty_group_is_null(self):
+        out = grouped_reduce("sum", float_col([]), np.empty(0, np.int64), 2)
+        assert out.to_pylist() == [None, None]
+
+    def test_count_star_requires_no_arg(self):
+        with pytest.raises(ExecutionError):
+            grouped_reduce("sum", None, CODES, 3)
+
+    def test_unknown_func(self):
+        with pytest.raises(ExecutionError):
+            grouped_reduce("median", float_col([1.0]), np.array([0]), 1)
+
+
+class TestMergeReduce:
+    def test_count_merges_by_sum(self):
+        assert MERGE_FUNC["count"] == "sum"
+        partials = int_col([2, 3, 5])
+        out = merge_reduce("count", partials, np.array([0, 0, 1]), 2)
+        assert out.to_pylist() == [5, 5]
+
+    def test_min_merges_by_min(self):
+        out = merge_reduce("min", int_col([4, 2, 9]), np.array([0, 0, 1]), 2)
+        assert out.to_pylist() == [2, 9]
+
+
+class TestPercentiles:
+    def test_disc_matches_sql_definition(self):
+        # first value with cumulative fraction >= f
+        values = np.array([10, 20, 30, 40])
+        assert percentile_from_sorted("percentile_disc", values, 0.5)[0] == 20
+        assert percentile_from_sorted("percentile_disc", values, 0.25)[0] == 10
+        assert percentile_from_sorted("percentile_disc", values, 0.26)[0] == 20
+        assert percentile_from_sorted("percentile_disc", values, 1.0)[0] == 40
+        assert percentile_from_sorted("percentile_disc", values, 0.0)[0] == 10
+
+    def test_cont_interpolates(self):
+        values = np.array([10.0, 20.0])
+        value, valid = percentile_from_sorted("percentile_cont", values, 0.5)
+        assert (value, valid) == (15.0, True)
+
+    def test_empty_is_null(self):
+        assert percentile_from_sorted("percentile_disc", np.array([]), 0.5)[1] is False
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.one_of(st.integers(-50, 50), st.none())),
+        min_size=1,
+        max_size=60,
+    ),
+    st.sampled_from(["sum", "count", "min", "max"]),
+)
+def test_grouped_reduce_matches_python(pairs, func):
+    """Property: kernels agree with a trivial Python dict implementation."""
+    codes = np.array([c for c, _ in pairs], dtype=np.int64)
+    values = int_col([v for _, v in pairs])
+    out = grouped_reduce(func, values, codes, 5).to_pylist()
+    expected = []
+    for g in range(5):
+        members = [v for (c, v) in pairs if c == g and v is not None]
+        if func == "count":
+            expected.append(len(members))
+        elif not members:
+            expected.append(None)
+        elif func == "sum":
+            expected.append(sum(members))
+        elif func == "min":
+            expected.append(min(members))
+        else:
+            expected.append(max(members))
+    assert out == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=50),
+       st.floats(0.0, 1.0))
+def test_percentile_disc_is_element_with_enough_mass(values, fraction):
+    """Property: percentile_disc returns a member whose cumulative frequency
+    reaches the fraction."""
+    ordered = np.array(sorted(values))
+    value, valid = percentile_from_sorted("percentile_disc", ordered, fraction)
+    assert valid
+    n = len(ordered)
+    position = list(ordered).index(value)
+    # cumulative fraction at this element's last occurrence >= fraction
+    last = max(i for i, v in enumerate(ordered) if v == value)
+    assert (last + 1) / n >= fraction

@@ -1,0 +1,81 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_fold_case(self):
+        assert kinds("SeLeCt FROM") == [
+            (TokenType.KEYWORD, "select"),
+            (TokenType.KEYWORD, "from"),
+        ]
+
+    def test_identifiers_fold_case(self):
+        assert kinds("MyCol") == [(TokenType.IDENT, "mycol")]
+
+    def test_quoted_identifier_preserves_case(self):
+        assert kinds('"MyCol"') == [(TokenType.IDENT, "MyCol")]
+
+    def test_numbers(self):
+        assert kinds("1 2.5 .5 1e3 2E-2") == [
+            (TokenType.INTEGER, "1"),
+            (TokenType.FLOAT, "2.5"),
+            (TokenType.FLOAT, ".5"),
+            (TokenType.FLOAT, "1e3"),
+            (TokenType.FLOAT, "2E-2"),
+        ]
+
+    def test_string_with_escaped_quote(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_symbols(self):
+        assert [v for _, v in kinds("<= >= <> != = ||")] == [
+            "<=", ">=", "<>", "<>", "=", "||",
+        ]
+
+    def test_line_comment(self):
+        assert kinds("a -- comment\n b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_eof_token_always_present(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* forever")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a ; b")
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')

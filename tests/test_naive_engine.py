@@ -1,0 +1,112 @@
+"""Unit tests of the naive row engine's semantics (it is the oracle, so its
+own behavior is pinned here against hand-computed expectations)."""
+
+import pytest
+
+from repro import Database
+from repro.baseline.naive import _null_safe_sort, _percentile
+
+
+class TestNullSafeSort:
+    def test_nulls_last_ascending(self):
+        rows = [{"x": None}, {"x": 2}, {"x": 1}]
+        out = _null_safe_sort(rows, [("x", False)])
+        assert [r["x"] for r in out] == [1, 2, None]
+
+    def test_nulls_last_descending(self):
+        rows = [{"x": None}, {"x": 2}, {"x": 1}]
+        out = _null_safe_sort(rows, [("x", True)])
+        assert [r["x"] for r in out] == [2, 1, None]
+
+    def test_multi_key_stability(self):
+        rows = [
+            {"a": 1, "b": "z"}, {"a": 1, "b": "a"}, {"a": 0, "b": "m"},
+        ]
+        out = _null_safe_sort(rows, [("a", False), ("b", False)])
+        assert [(r["a"], r["b"]) for r in out] == [(0, "m"), (1, "a"), (1, "z")]
+
+
+class TestPercentileReference:
+    def test_disc(self):
+        assert _percentile("percentile_disc", [1, 2, 3, 4], 0.5) == 2
+        assert _percentile("percentile_disc", [1, 2, 3], 0.5) == 2
+        assert _percentile("percentile_disc", [5], 0.99) == 5
+
+    def test_cont(self):
+        assert _percentile("percentile_cont", [1, 3], 0.5) == 2.0
+        assert _percentile("percentile_cont", [1, 2, 3], 0.5) == 2.0
+
+    def test_empty(self):
+        assert _percentile("percentile_disc", [], 0.5) is None
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("t", {"g": "int64", "x": "int64"})
+    database.insert(
+        "t",
+        {"g": [1, 1, 1, 2, 2], "x": [10, None, 30, 5, 5]},
+    )
+    return database
+
+
+class TestHandComputedAnswers:
+    def test_aggregates(self, db):
+        rows = sorted(
+            db.sql(
+                "SELECT g, sum(x), count(x), count(*), min(x), max(x) "
+                "FROM t GROUP BY g",
+                engine="naive",
+            ).rows()
+        )
+        assert rows == [(1, 40, 2, 3, 10, 30), (2, 10, 2, 2, 5, 5)]
+
+    def test_distinct(self, db):
+        rows = sorted(
+            db.sql(
+                "SELECT g, count(DISTINCT x), sum(DISTINCT x) FROM t GROUP BY g",
+                engine="naive",
+            ).rows()
+        )
+        assert rows == [(1, 2, 40), (2, 1, 5)]
+
+    def test_percentile_skips_nulls(self, db):
+        rows = sorted(
+            db.sql(
+                "SELECT g, percentile_disc(0.5) WITHIN GROUP (ORDER BY x) "
+                "FROM t GROUP BY g",
+                engine="naive",
+            ).rows()
+        )
+        assert rows == [(1, 10), (2, 5)]
+
+    def test_global_aggregate_on_empty_table(self):
+        database = Database()
+        database.create_table("e", {"x": "int64"})
+        rows = database.sql(
+            "SELECT count(*), sum(x) FROM e", engine="naive"
+        ).rows()
+        assert rows == [(0, None)]
+
+    def test_window_lag_default(self, db):
+        rows = db.sql(
+            "SELECT g, x, lag(x, 1, -1) OVER (PARTITION BY g ORDER BY x) AS p "
+            "FROM t WHERE x IS NOT NULL",
+            engine="naive",
+        ).rows()
+        by_g = {}
+        for g, x, p in sorted(rows):
+            by_g.setdefault(g, []).append(p)
+        assert by_g[1] == [-1, 10]
+        assert by_g[2] == [-1, 5]
+
+    def test_grouping_sets_grouping_id(self, db):
+        rows = db.sql(
+            "SELECT g, sum(x), grouping_id FROM t GROUP BY GROUPING SETS ((g), ())",
+            engine="naive",
+        ).rows()
+        ids = sorted(r[2] for r in rows)
+        assert ids == [0, 0, 1]
+        total = [r for r in rows if r[2] == 1]
+        assert total[0][:2] == (None, 50)

@@ -1,0 +1,200 @@
+"""Unit tests for the SQL parser (AST shapes)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import parse_sql
+from repro.sql import ast as A
+
+
+class TestSelectCore:
+    def test_items_and_aliases(self):
+        stmt = parse_sql("SELECT a, b AS x, c y FROM t")
+        assert [i.alias for i in stmt.items] == [None, "x", "y"]
+
+    def test_star(self):
+        stmt = parse_sql("SELECT *, t.* FROM t")
+        assert isinstance(stmt.items[0].expr, A.SqlStar)
+        assert stmt.items[1].expr.table == "t"
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+    def test_where_having_limit_offset(self):
+        stmt = parse_sql(
+            "SELECT a FROM t WHERE a > 1 GROUP BY a HAVING count(*) > 2 "
+            "ORDER BY a DESC LIMIT 10 OFFSET 5"
+        )
+        assert stmt.where is not None
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending
+        assert (stmt.limit, stmt.offset) == (10, 5)
+
+
+class TestFromClause:
+    def test_join_kinds(self):
+        stmt = parse_sql(
+            "SELECT 1 FROM a JOIN b ON a.x = b.x LEFT JOIN c ON a.x = c.x "
+            "SEMI JOIN d ON a.x = d.x ANTI JOIN e ON a.x = e.x"
+        )
+        node = stmt.from_clause
+        kinds = []
+        while isinstance(node, A.JoinedTable):
+            kinds.append(node.kind)
+            node = node.left
+        assert kinds == ["anti", "semi", "left", "inner"]
+
+    def test_comma_join(self):
+        stmt = parse_sql("SELECT 1 FROM a, b")
+        assert isinstance(stmt.from_clause, A.JoinedTable)
+
+    def test_derived_table(self):
+        stmt = parse_sql("SELECT 1 FROM (SELECT a FROM t) AS sub")
+        assert isinstance(stmt.from_clause, A.DerivedTable)
+        assert stmt.from_clause.alias == "sub"
+
+    def test_cte(self):
+        stmt = parse_sql("WITH c AS (SELECT a FROM t) SELECT a FROM c")
+        assert stmt.ctes[0][0] == "c"
+
+
+class TestGroupBy:
+    def test_plain_keys(self):
+        stmt = parse_sql("SELECT 1 FROM t GROUP BY a, b")
+        assert stmt.group_by.sets is None
+        assert len(stmt.group_by.keys) == 2
+
+    def test_grouping_sets(self):
+        stmt = parse_sql(
+            "SELECT 1 FROM t GROUP BY GROUPING SETS ((a, b), (a), ())"
+        )
+        assert [len(s) for s in stmt.group_by.sets] == [2, 1, 0]
+
+    def test_shorthand_set_list(self):
+        stmt = parse_sql("SELECT 1 FROM t GROUP BY ((a,b),(a),(b))")
+        assert [len(s) for s in stmt.group_by.sets] == [2, 1, 1]
+
+    def test_parenthesized_key_list_is_not_sets(self):
+        stmt = parse_sql("SELECT 1 FROM t GROUP BY (a, b)")
+        assert stmt.group_by.sets is None
+        assert len(stmt.group_by.keys) == 2
+
+    def test_rollup(self):
+        stmt = parse_sql("SELECT 1 FROM t GROUP BY ROLLUP (a, b)")
+        assert [len(s) for s in stmt.group_by.sets] == [2, 1, 0]
+
+    def test_cube(self):
+        stmt = parse_sql("SELECT 1 FROM t GROUP BY CUBE (a, b)")
+        assert sorted(len(s) for s in stmt.group_by.sets) == [0, 1, 1, 2]
+
+
+class TestExpressions:
+    def expr(self, text):
+        return parse_sql(f"SELECT {text} FROM t").items[0].expr
+
+    def test_precedence(self):
+        node = self.expr("1 + 2 * 3")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_unary_minus_folds_literals(self):
+        node = self.expr("-5")
+        assert isinstance(node, A.SqlLiteral) and node.value == -5
+
+    def test_between(self):
+        node = self.expr("a BETWEEN 1 AND 2")
+        assert isinstance(node, A.SqlBetween)
+
+    def test_not_in(self):
+        node = self.expr("a NOT IN (1, 2)")
+        assert isinstance(node, A.SqlInList) and node.negated
+
+    def test_is_not_null(self):
+        node = self.expr("a IS NOT NULL")
+        assert isinstance(node, A.SqlIsNull) and node.negated
+
+    def test_case_simple_and_searched(self):
+        searched = self.expr("CASE WHEN a THEN 1 ELSE 2 END")
+        assert searched.operand is None
+        simple = self.expr("CASE a WHEN 1 THEN 'x' END")
+        assert simple.operand is not None
+
+    def test_cast(self):
+        node = self.expr("CAST(a AS float)")
+        assert isinstance(node, A.SqlCast) and node.type_name == "float"
+
+    def test_date_literal(self):
+        node = self.expr("date '1995-01-01'")
+        assert isinstance(node, A.SqlLiteral) and node.kind == "date"
+
+    def test_concat_operator(self):
+        node = self.expr("a || b")
+        assert isinstance(node, A.SqlFunc) and node.name == "concat"
+
+    def test_exists(self):
+        stmt = parse_sql("SELECT 1 FROM t WHERE EXISTS (SELECT 1 FROM u)")
+        assert isinstance(stmt.where, A.SqlExists)
+
+    def test_not_exists(self):
+        stmt = parse_sql("SELECT 1 FROM t WHERE NOT EXISTS (SELECT 1 FROM u)")
+        assert stmt.where.negated
+
+
+class TestAggregatesAndWindows:
+    def expr(self, text):
+        return parse_sql(f"SELECT {text} FROM t").items[0].expr
+
+    def test_count_star_and_distinct(self):
+        node = self.expr("count(*)")
+        assert isinstance(node.args[0], A.SqlStar)
+        node = self.expr("count(DISTINCT a)")
+        assert node.distinct
+
+    def test_within_group(self):
+        node = self.expr(
+            "percentile_disc(0.5) WITHIN GROUP (ORDER BY a DESC)"
+        )
+        assert node.within_group[0].descending
+
+    def test_over_clause(self):
+        node = self.expr(
+            "sum(a) OVER (PARTITION BY b ORDER BY c ROWS BETWEEN 1 PRECEDING AND 2 FOLLOWING)"
+        )
+        assert len(node.over.partition_by) == 1
+        assert node.over.frame.start == ("preceding", 1)
+        assert node.over.frame.end == ("following", 2)
+
+    def test_frame_shorthand(self):
+        node = self.expr("sum(a) OVER (ORDER BY c ROWS UNBOUNDED PRECEDING)")
+        assert node.over.frame.start == ("unbounded_preceding", 0)
+        assert node.over.frame.end == ("current", 0)
+
+
+class TestUnionAll:
+    def test_chain(self):
+        stmt = parse_sql(
+            "SELECT a FROM t UNION ALL SELECT a FROM u UNION ALL SELECT a FROM v "
+            "ORDER BY a LIMIT 3"
+        )
+        assert stmt.union_all is not None
+        assert stmt.union_all.union_all is not None
+        assert stmt.limit == 3
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP BY",
+            "SELECT a FROM t trailing garbage (",
+            "SELECT CASE END FROM t",
+            "SELECT a FROM t LIMIT x",
+            "SELECT cast(a AS) FROM t",
+        ],
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_sql(bad)

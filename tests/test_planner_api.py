@@ -1,0 +1,174 @@
+"""Tests for the planner API and Low-Level-Functions (paper §3.4)."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.compgraph import (
+    AggregatePlanner,
+    computation_graph,
+    functions as F,
+    render_computation_graph,
+)
+from repro.errors import BindError
+from repro.lolepop import LolepopEngine
+
+
+@pytest.fixture
+def db():
+    database = Database(num_threads=2)
+    database.create_table("t", {"g": "int64", "x": "float64", "o": "int64"})
+    rng = np.random.default_rng(4)
+    n = 300
+    database.insert(
+        "t",
+        {
+            "g": rng.integers(0, 4, n),
+            "x": rng.random(n).round(4),
+            "o": rng.permutation(n),
+        },
+    )
+    return database
+
+
+def run(db, plan):
+    return LolepopEngine(db.catalog, db.config).run(plan)
+
+
+def group_values(db):
+    out = {}
+    gs = db.table("t").column("g").values
+    xs = db.table("t").column("x").values
+    os_ = db.table("t").column("o").values
+    for g in np.unique(gs):
+        mask = gs == g
+        order = np.argsort(os_[mask], kind="stable")
+        out[int(g)] = xs[mask][order]
+    return out
+
+
+class TestPlannerBasics:
+    def test_simple_aggregate(self, db):
+        p = AggregatePlanner(db.plan("SELECT * FROM t"), group_by=["g"])
+        plan = p.finish({"g": p.key("g"), "s": p.aggregate("sum", p.value("x"))})
+        rows = dict(run(db, plan).rows())
+        values = group_values(db)
+        for g, expected in values.items():
+            assert rows[g] == pytest.approx(expected.sum())
+
+    def test_interning_shares_aggregates(self, db):
+        p = AggregatePlanner(db.plan("SELECT * FROM t"), group_by=["g"])
+        x = p.value("x")
+        F.avg(p, x)
+        F.var_pop(p, x)
+        # avg: sum+count; var adds only sum(x*x): 3 total.
+        assert len(p.aggregates) == 3
+
+    def test_unknown_column_rejected(self, db):
+        p = AggregatePlanner(db.plan("SELECT * FROM t"), group_by=["g"])
+        with pytest.raises(Exception):
+            p.value("zz")
+
+    def test_key_must_be_group_key(self, db):
+        p = AggregatePlanner(db.plan("SELECT * FROM t"), group_by=["g"])
+        with pytest.raises(BindError):
+            p.key("x")
+
+    def test_node_arithmetic(self, db):
+        p = AggregatePlanner(db.plan("SELECT * FROM t"), group_by=["g"])
+        s = p.aggregate("sum", p.value("x"))
+        c = p.aggregate("count", p.value("x"))
+        plan = p.finish({"g": p.key("g"), "m": (s / c) * 2 - 1})
+        result = run(db, plan)
+        assert result.schema.names() == ["g", "m"]
+
+
+class TestLowLevelFunctions:
+    def numpy_groups(self, db):
+        return group_values(db)
+
+    def test_var_and_stddev(self, db):
+        p = AggregatePlanner(db.plan("SELECT * FROM t"), group_by=["g"])
+        plan = p.finish({
+            "g": p.key("g"),
+            "vp": F.var_pop(p, "x"),
+            "vs": F.var_samp(p, "x"),
+            "sd": F.stddev_pop(p, "x"),
+        })
+        rows = {r[0]: r[1:] for r in run(db, plan).rows()}
+        for g, values in self.numpy_groups(db).items():
+            assert rows[g][0] == pytest.approx(values.var())
+            assert rows[g][1] == pytest.approx(values.var(ddof=1))
+            assert rows[g][2] == pytest.approx(values.std())
+
+    def test_median_and_iqr(self, db):
+        p = AggregatePlanner(db.plan("SELECT * FROM t"), group_by=["g"])
+        plan = p.finish({
+            "g": p.key("g"),
+            "med": F.median(p, "x"),
+            "iqr": F.iqr(p, "x"),
+        })
+        rows = {r[0]: r[1:] for r in run(db, plan).rows()}
+        for g, values in self.numpy_groups(db).items():
+            assert rows[g][0] == pytest.approx(np.median(values))
+            assert rows[g][1] == pytest.approx(
+                np.percentile(values, 75) - np.percentile(values, 25)
+            )
+
+    def test_mad(self, db):
+        p = AggregatePlanner(db.plan("SELECT * FROM t"), group_by=["g"])
+        plan = p.finish({"g": p.key("g"), "mad": F.mad(p, "x")})
+        rows = dict(run(db, plan).rows())
+        for g, values in self.numpy_groups(db).items():
+            expected = np.median(np.abs(values - np.median(values)))
+            assert rows[g] == pytest.approx(expected)
+
+    def test_mssd_matches_definition(self, db):
+        p = AggregatePlanner(db.plan("SELECT * FROM t"), group_by=["g"])
+        plan = p.finish({
+            "g": p.key("g"),
+            "mssd": F.mssd(p, p.value("x"), p.value("o")),
+        })
+        rows = dict(run(db, plan).rows())
+        for g, ordered in self.numpy_groups(db).items():
+            diffs = np.diff(ordered)
+            expected = np.sqrt((diffs**2).sum() / len(diffs))
+            assert rows[g] == pytest.approx(expected)
+
+    def test_moments_kurtosis_skewness(self, db):
+        p = AggregatePlanner(db.plan("SELECT * FROM t"), group_by=["g"])
+        plan = p.finish({
+            "g": p.key("g"),
+            "kurt": F.kurtosis(p, "x"),
+            "skew": F.skewness(p, "x"),
+        })
+        rows = {r[0]: r[1:] for r in run(db, plan).rows()}
+        for g, values in self.numpy_groups(db).items():
+            centered = values - values.mean()
+            m2 = (centered**2).mean()
+            assert rows[g][0] == pytest.approx((centered**4).mean() / m2**2 - 3)
+            assert rows[g][1] == pytest.approx(
+                (centered**3).mean() / m2**1.5
+            )
+
+
+class TestComputationGraph:
+    def test_graph_shows_sharing(self, db):
+        plan = db.plan("SELECT g, avg(x), var_pop(x) FROM t GROUP BY g")
+        nodes = computation_graph(plan)
+        aggregates = [n for n in nodes if n.kind == "aggregate"]
+        assert len(aggregates) == 3  # sum, count, sum of squares
+
+    def test_graph_includes_windows(self, db):
+        plan = db.plan("SELECT g, mad(x) FROM t GROUP BY g")
+        kinds = {n.kind for n in computation_graph(plan)}
+        assert "window" in kinds and "aggregate" in kinds
+
+    def test_render(self, db):
+        text = render_computation_graph(db.plan("SELECT g, mad(x) FROM t GROUP BY g"))
+        assert "window" in text and "aggregate" in text
+
+    def test_render_non_aggregate(self, db):
+        assert "no aggregation region" in render_computation_graph(
+            db.plan("SELECT g FROM t")
+        )

@@ -1,0 +1,110 @@
+"""Property-based (hypothesis) tests on end-to-end engine behavior."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database, EngineConfig
+
+from tests.helpers import assert_engines_agree, normalized_rows
+
+settings.register_profile(
+    "engine", max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build_db(rows):
+    database = Database(num_threads=2)
+    database.create_table("t", {"g": "int64", "x": "int64", "y": "float64"})
+    database.insert(
+        "t",
+        {
+            "g": [g for g, _, _ in rows],
+            "x": [x for _, x, _ in rows],
+            "y": [y for _, _, y in rows],
+        },
+    )
+    return database
+
+
+row_strategy = st.tuples(
+    st.integers(0, 4),
+    st.one_of(st.integers(-20, 20), st.none()),
+    st.one_of(
+        st.floats(-100, 100, allow_nan=False, allow_infinity=False).map(
+            lambda v: round(v, 3)
+        ),
+        st.none(),
+    ),
+)
+
+
+@settings(settings.get_profile("engine"))
+@given(st.lists(row_strategy, min_size=1, max_size=60))
+def test_associative_aggregation_property(rows):
+    db = build_db(rows)
+    assert_engines_agree(
+        db, "SELECT g, sum(x), count(x), min(y), max(y), count(*) FROM t GROUP BY g"
+    )
+
+
+@settings(settings.get_profile("engine"))
+@given(st.lists(row_strategy, min_size=1, max_size=60))
+def test_distinct_aggregation_property(rows):
+    db = build_db(rows)
+    assert_engines_agree(
+        db, "SELECT g, count(DISTINCT x), sum(DISTINCT x) FROM t GROUP BY g"
+    )
+
+
+@settings(settings.get_profile("engine"))
+@given(st.lists(row_strategy, min_size=1, max_size=60))
+def test_percentile_property(rows):
+    db = build_db(rows)
+    assert_engines_agree(
+        db,
+        "SELECT g, percentile_disc(0.5) WITHIN GROUP (ORDER BY y), "
+        "percentile_cont(0.25) WITHIN GROUP (ORDER BY x) FROM t GROUP BY g",
+    )
+
+
+@settings(settings.get_profile("engine"))
+@given(st.lists(row_strategy, min_size=1, max_size=50))
+def test_grouping_sets_property(rows):
+    db = build_db(rows)
+    assert_engines_agree(
+        db,
+        "SELECT g, x, sum(y), count(*) FROM t "
+        "GROUP BY GROUPING SETS ((g, x), (g), ())",
+    )
+
+
+@settings(settings.get_profile("engine"))
+@given(st.lists(row_strategy, min_size=1, max_size=50))
+def test_window_property(rows):
+    db = build_db(rows)
+    assert_engines_agree(
+        db,
+        "SELECT g, x, row_number() OVER (PARTITION BY g ORDER BY x, y) AS rn, "
+        "sum(x) OVER (PARTITION BY g ORDER BY x, y) AS cs FROM t",
+    )
+
+
+@settings(settings.get_profile("engine"))
+@given(
+    st.lists(row_strategy, min_size=2, max_size=50),
+    st.integers(1, 6),
+    st.integers(1, 16),
+)
+def test_configuration_invariance(rows, threads, partitions):
+    """The answer never depends on threads/partitions/morsel size."""
+    db = build_db(rows)
+    sql = "SELECT g, sum(x), median(y) FROM t GROUP BY g"
+    baseline = normalized_rows(db.sql(sql, engine="naive"))
+    config = EngineConfig(
+        num_threads=threads, num_partitions=partitions, morsel_size=7
+    )
+    got = normalized_rows(db.sql(sql, engine="lolepop", config=config))
+    assert got == baseline

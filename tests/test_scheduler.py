@@ -1,0 +1,103 @@
+"""Tests for the simulated morsel scheduler and execution traces."""
+
+import pytest
+
+from repro.execution import ExecutionTrace, SimulatedScheduler
+from repro.execution.scheduler import SPLIT_OVERHEAD
+from repro.execution.trace import TraceRecord
+
+
+class TestScheduling:
+    def test_results_in_item_order(self):
+        sched = SimulatedScheduler(4)
+        out = sched.run_region("op", "p0", [3, 1, 2], lambda x: x * 10)
+        assert out == [30, 10, 20]
+
+    def test_serial_time_accumulates(self):
+        sched = SimulatedScheduler(2)
+        sched.account("op", "p0", [0.5, 0.5])
+        assert sched.serial_time == pytest.approx(1.0)
+
+    def test_parallel_makespan_lpt(self):
+        sched = SimulatedScheduler(2)
+        sched.account("op", "p0", [4.0, 3.0, 2.0, 1.0])
+        # LPT on 2 workers: {4,1} and {3,2} -> makespan 5
+        assert sched.sim_time == pytest.approx(5.0)
+
+    def test_single_thread_equals_serial(self):
+        sched = SimulatedScheduler(1)
+        sched.account("op", "p0", [1.0, 2.0, 3.0])
+        assert sched.sim_time == pytest.approx(sched.serial_time)
+
+    def test_regions_are_barriers(self):
+        sched = SimulatedScheduler(2)
+        sched.account("a", "p0", [2.0])  # one thread busy until t=2
+        sched.account("b", "p1", [1.0])  # must start after the barrier
+        assert sched.sim_time == pytest.approx(3.0)
+
+    def test_nonsplittable_large_item_dominates(self):
+        sched = SimulatedScheduler(8)
+        sched.account("sort", "p0", [8.0], splittable=False)
+        assert sched.sim_time == pytest.approx(8.0)
+
+    def test_splittable_item_parallelizes_with_overhead(self):
+        sched = SimulatedScheduler(8)
+        sched.account("sort", "p0", [8.0], splittable=True)
+        assert sched.sim_time == pytest.approx(8.0 * (1 + SPLIT_OVERHEAD) / 8)
+
+    def test_tiny_splittable_item_not_split(self):
+        sched = SimulatedScheduler(8)
+        sched.account("sort", "p0", [0.0001], splittable=True)
+        assert sched.sim_time == pytest.approx(0.0001)
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            SimulatedScheduler(0)
+
+    def test_reset(self):
+        sched = SimulatedScheduler(2, ExecutionTrace())
+        sched.account("op", "p0", [1.0])
+        sched.reset()
+        assert sched.sim_time == 0.0
+        assert sched.serial_time == 0.0
+        assert sched.trace.records == []
+
+
+class TestTrace:
+    def make_trace(self):
+        trace = ExecutionTrace()
+        sched = SimulatedScheduler(2, trace)
+        sched.account("partition", "p0", [1.0, 1.0])
+        sched.account("sort", "p1", [2.0])
+        return trace
+
+    def test_records_collected(self):
+        trace = self.make_trace()
+        assert len(trace.records) == 3
+        assert trace.operators() == ["partition", "sort"]
+
+    def test_makespan(self):
+        trace = self.make_trace()
+        assert trace.makespan == pytest.approx(3.0)
+
+    def test_total_work_per_operator(self):
+        trace = self.make_trace()
+        assert trace.total_work("partition") == pytest.approx(2.0)
+        assert trace.total_work() == pytest.approx(4.0)
+
+    def test_by_thread(self):
+        trace = self.make_trace()
+        threads = trace.by_thread()
+        assert set(threads) == {0, 1}
+
+    def test_render_gantt(self):
+        text = self.make_trace().render(width=40)
+        assert "makespan" in text
+        assert "T0 |" in text and "T1 |" in text
+
+    def test_render_empty(self):
+        assert ExecutionTrace().render() == "(empty trace)"
+
+    def test_record_duration(self):
+        record = TraceRecord(0, 1.0, 2.5, "op", "p0")
+        assert record.duration == pytest.approx(1.5)

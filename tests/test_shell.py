@@ -1,0 +1,124 @@
+"""Tests for the interactive shell and table formatting."""
+
+import io
+
+import pytest
+
+from repro.format import format_table, format_value
+from repro.shell import Shell
+
+
+class TestFormatting:
+    def test_value_rendering(self):
+        assert format_value(None) == "NULL"
+        assert format_value(1.5) == "1.5"
+        assert format_value(2.0) == "2"
+        assert format_value("x") == "x"
+        assert format_value(0.0) == "0"
+
+    def test_table_alignment(self):
+        text = format_table(["name", "n"], [("a", 1), ("bb", 22)])
+        lines = text.splitlines()
+        assert lines[1] == "| name |  n |"
+        assert "| a    |  1 |" in lines
+        assert "(2 rows)" in text
+
+    def test_row_cap(self):
+        rows = [(i,) for i in range(100)]
+        text = format_table(["x"], rows, max_rows=5)
+        assert "showing first 5" in text
+
+
+@pytest.fixture
+def shell():
+    out = io.StringIO()
+    sh = Shell(out=out)
+    sh.execute_line("")  # no-op
+    return sh, out
+
+
+def output_of(shell_tuple):
+    shell_obj, out = shell_tuple
+    return out.getvalue()
+
+
+class TestShell:
+    def test_create_and_query(self, shell):
+        sh, out = shell
+        sh.db.create_table("t", {"a": "int64"})
+        sh.db.insert("t", {"a": [3, 1, 2]})
+        sh.execute_line("SELECT sum(a) AS s FROM t;")
+        text = out.getvalue()
+        assert "| 6 |" in text
+        assert "makespan" in text  # timing on by default
+
+    def test_timing_toggle(self, shell):
+        sh, out = shell
+        sh.db.create_table("t", {"a": "int64"})
+        sh.db.insert("t", {"a": [1]})
+        sh.execute_line(".timing off")
+        out.truncate(0), out.seek(0)
+        sh.execute_line("SELECT a FROM t")
+        assert "makespan" not in out.getvalue()
+
+    def test_tables_and_schema(self, shell):
+        sh, out = shell
+        sh.db.create_table("zoo", {"x": "int64", "s": "string"})
+        sh.execute_line(".tables")
+        sh.execute_line(".schema zoo")
+        text = out.getvalue()
+        assert "zoo" in text and "string" in text and "(0 rows)" in text
+
+    def test_engine_switch(self, shell):
+        sh, out = shell
+        sh.execute_line(".engine naive")
+        assert sh.engine == "naive"
+        sh.execute_line(".engine duckdb")
+        assert sh.engine == "naive"
+        assert "unknown engine" in out.getvalue()
+
+    def test_threads(self, shell):
+        sh, _ = shell
+        sh.execute_line(".threads 8")
+        assert sh.threads == 8
+
+    def test_explain_commands(self, shell):
+        sh, out = shell
+        sh.db.create_table("t", {"a": "int64", "b": "float64"})
+        sh.execute_line(".explain SELECT a, sum(b) FROM t GROUP BY a")
+        sh.execute_line(".lolepop SELECT a, median(b) FROM t GROUP BY a")
+        text = out.getvalue()
+        assert "AGGREGATE" in text and "ORDAGG" in text
+
+    def test_trace(self, shell):
+        sh, out = shell
+        sh.db.create_table("t", {"a": "int64"})
+        sh.db.insert("t", {"a": list(range(100))})
+        sh.execute_line(".trace SELECT a, count(*) FROM t GROUP BY a")
+        assert "makespan" in out.getvalue()
+
+    def test_sql_error_reported(self, shell):
+        sh, out = shell
+        sh.execute_line("SELECT nope FROM nowhere")
+        assert "error:" in out.getvalue()
+
+    def test_load_tpch(self, shell):
+        sh, out = shell
+        sh.execute_line(".load tpch 0.001")
+        assert "lineitem rows" in out.getvalue()
+        sh.execute_line("SELECT count(*) AS n FROM nation")
+        assert "| 25 |" in out.getvalue()
+
+    def test_quit(self, shell):
+        sh, _ = shell
+        assert sh.execute_line(".quit") is False
+
+    def test_unknown_dot_command(self, shell):
+        sh, out = shell
+        sh.execute_line(".frobnicate")
+        assert "unknown command" in out.getvalue()
+
+    def test_help(self, shell):
+        sh, out = shell
+        sh.execute_line(".help")
+        assert ".tables" in out.getvalue()

@@ -1,0 +1,161 @@
+"""Tests for the spilling LOLEPOP variants (paper §7 future work)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import Database, EngineConfig
+from repro.storage import Batch, TupleBuffer
+from repro.storage.spill import SpillManager, approx_batch_bytes
+from repro.types import Schema
+
+from tests.helpers import normalized_rows
+
+SCHEMA = Schema.of(("k", "int64"), ("v", "float64"), ("s", "string"))
+
+
+def make_batch(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    return Batch.from_pydict(
+        SCHEMA,
+        {
+            "k": [int(x) for x in rng.integers(0, 10, n)],
+            "v": [float(x) for x in rng.random(n)],
+            "s": [f"s{x}" for x in rng.integers(0, 5, n)],
+        },
+    )
+
+
+class TestSpillManager:
+    def test_roundtrip(self, tmp_path):
+        manager = SpillManager(str(tmp_path))
+        batch = make_batch(50)
+        path = manager.write_batch(batch)
+        assert os.path.exists(path)
+        loaded = manager.read_batch(path, SCHEMA)
+        assert list(loaded.rows()) == list(batch.rows())
+
+    def test_roundtrip_with_nulls(self, tmp_path):
+        manager = SpillManager(str(tmp_path))
+        batch = Batch.from_pydict(
+            SCHEMA, {"k": [1, None], "v": [None, 2.0], "s": ["a", None]}
+        )
+        loaded = manager.read_batch(manager.write_batch(batch), SCHEMA)
+        assert list(loaded.rows()) == [(1, None, "a"), (None, 2.0, None)]
+
+    def test_release_deletes(self, tmp_path):
+        manager = SpillManager(str(tmp_path))
+        path = manager.write_batch(make_batch(5))
+        manager.release(path)
+        assert not os.path.exists(path)
+
+    def test_cleanup_removes_own_directory(self):
+        manager = SpillManager()
+        manager.write_batch(make_batch(5))
+        directory = manager.directory
+        manager.cleanup()
+        assert not os.path.exists(directory)
+
+    def test_byte_estimate_positive(self):
+        assert approx_batch_bytes(make_batch(10)) > 0
+
+
+class TestBufferSpilling:
+    def test_partition_spill_and_reload(self, tmp_path):
+        manager = SpillManager(str(tmp_path))
+        buffer = TupleBuffer(SCHEMA, 4, ("k",))
+        buffer.append_partitioned(make_batch(200))
+        partition = next(p for p in buffer.partitions if p.num_rows)
+        rows_before = list(partition.ordered_batch().rows())
+        count = partition.num_rows
+        partition.spill(manager)
+        assert partition.is_spilled
+        assert partition.num_rows == count  # row count survives spilling
+        assert list(partition.ordered_batch().rows()) == rows_before
+        assert not partition.is_spilled  # access loads it back
+
+    def test_spill_over_budget(self, tmp_path):
+        manager = SpillManager(str(tmp_path))
+        buffer = TupleBuffer(SCHEMA, 4, ("k",))
+        buffer.append_partitioned(make_batch(500))
+        buffer.enable_spilling(manager, memory_budget=0)
+        spilled = buffer.spill_over_budget()
+        assert spilled >= 1
+        assert buffer.approx_bytes() == 0
+        # All rows still reachable.
+        assert sum(len(b) for b in buffer.scan_batches()) == 500
+
+    def test_spilled_sort_preserves_order(self, tmp_path):
+        manager = SpillManager(str(tmp_path))
+        buffer = TupleBuffer(SCHEMA, 2, ("k",))
+        buffer.append_partitioned(make_batch(300))
+        for partition in buffer.partitions:
+            partition.spill(manager)
+        for partition in buffer.partitions:
+            partition.sort_inplace(["k", "v"], [False, False])
+            rows = list(partition.ordered_batch().rows())
+            assert rows == sorted(rows)
+
+
+class TestSpillingEndToEnd:
+    @pytest.fixture
+    def db(self):
+        database = Database()
+        database.create_table("t", {"g": "int64", "x": "float64", "o": "int64"})
+        rng = np.random.default_rng(1)
+        n = 3000
+        database.insert(
+            "t",
+            {
+                "g": rng.integers(0, 6, n),
+                "x": rng.random(n).round(4),
+                "o": rng.permutation(n),
+            },
+        )
+        return database
+
+    QUERIES = [
+        "SELECT g, median(x), sum(x) FROM t GROUP BY g",
+        "SELECT g, percentile_disc(0.25) WITHIN GROUP (ORDER BY x), "
+        "percentile_disc(0.75) WITHIN GROUP (ORDER BY o) FROM t GROUP BY g",
+        "SELECT g, mad(x) FROM t GROUP BY g",
+        "SELECT g, x, sum(x) OVER (PARTITION BY g ORDER BY o) AS c FROM t",
+        "SELECT g, x FROM t ORDER BY x LIMIT 10",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES, ids=range(len(QUERIES)))
+    def test_results_identical_under_memory_pressure(self, db, sql, tmp_path):
+        unconstrained = normalized_rows(db.sql(sql))
+        config = EngineConfig(
+            num_threads=2,
+            num_partitions=8,
+            memory_budget_bytes=4096,  # far below the working set
+            spill_directory=str(tmp_path),
+        )
+        constrained = normalized_rows(db.sql(sql, config=config))
+        assert constrained == unconstrained
+
+    def test_spill_actually_happens(self, db, tmp_path):
+        config = EngineConfig(
+            num_threads=2,
+            num_partitions=8,
+            memory_budget_bytes=1024,
+            spill_directory=str(tmp_path),
+            collect_trace=True,
+        )
+        result = db.sql("SELECT g, median(x) FROM t GROUP BY g", config=config)
+        assert "spill" in [r.operator for r in result.trace.records]
+
+    def test_no_budget_means_no_spill(self, db):
+        config = EngineConfig(num_threads=2, collect_trace=True)
+        result = db.sql("SELECT g, median(x) FROM t GROUP BY g", config=config)
+        assert "spill" not in [r.operator for r in result.trace.records]
+
+    def test_spill_files_cleaned_up(self, db, tmp_path):
+        config = EngineConfig(
+            memory_budget_bytes=1024, spill_directory=str(tmp_path)
+        )
+        db.sql("SELECT g, median(x) FROM t GROUP BY g", config=config)
+        # All per-partition files were released after loading.
+        assert os.listdir(str(tmp_path)) == []

@@ -1,0 +1,109 @@
+"""Tests for the TPC-H substrate: generator invariants and query results."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.tpch import FIGURE7_VARIANTS, TPCH_QUERIES, generate_tpch
+from repro.tpch.queries import QUERY_TABLES
+
+from tests.helpers import assert_engines_agree
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_tpch(scale_factor=0.004, seed=3)
+
+
+class TestGeneratorInvariants:
+    def test_cardinalities_scale(self, data):
+        assert len(data["region"]["r_regionkey"]) == 5
+        assert len(data["nation"]["n_nationkey"]) == 25
+        orders = len(data["orders"]["o_orderkey"])
+        lines = len(data["lineitem"]["l_orderkey"])
+        # dbgen averages ~4 lineitems per order (uniform 1..7).
+        assert 2 * orders < lines < 7 * orders
+
+    def test_foreign_keys_resolve(self, data):
+        custkeys = set(data["customer"]["c_custkey"].tolist())
+        assert set(data["orders"]["o_custkey"].tolist()) <= custkeys
+        orderkeys = set(data["orders"]["o_orderkey"].tolist())
+        assert set(data["lineitem"]["l_orderkey"].tolist()) <= orderkeys
+        suppkeys = set(data["supplier"]["s_suppkey"].tolist())
+        assert set(data["lineitem"]["l_suppkey"].tolist()) <= suppkeys
+        nationkeys = set(data["nation"]["n_nationkey"].tolist())
+        assert set(data["customer"]["c_nationkey"].tolist()) <= nationkeys
+        assert set(data["supplier"]["s_nationkey"].tolist()) <= nationkeys
+
+    def test_linenumber_domain(self, data):
+        """l_linenumber in 1..7 — the 7-value group key of Table 3."""
+        values = set(data["lineitem"]["l_linenumber"].tolist())
+        assert values == set(range(1, 8))
+
+    def test_linenumbers_sequential_per_order(self, data):
+        keys = data["lineitem"]["l_orderkey"]
+        nums = data["lineitem"]["l_linenumber"]
+        # Within one order, line numbers are 1..count.
+        first_order = keys[0]
+        mask = keys == first_order
+        assert sorted(nums[mask].tolist()) == list(range(1, int(mask.sum()) + 1))
+
+    def test_date_ordering_per_line(self, data):
+        ship = data["lineitem"]["l_shipdate"].astype(np.int64)
+        receipt = data["lineitem"]["l_receiptdate"].astype(np.int64)
+        assert (receipt > ship).all()
+
+    def test_value_domains(self, data):
+        q = data["lineitem"]["l_quantity"]
+        assert q.min() >= 1 and q.max() <= 50
+        disc = data["lineitem"]["l_discount"]
+        assert disc.min() >= 0.0 and disc.max() <= 0.10
+        assert set(data["lineitem"]["l_returnflag"].tolist()) <= {"R", "A", "N"}
+        assert set(data["lineitem"]["l_linestatus"].tolist()) <= {"O", "F"}
+
+    def test_deterministic_by_seed(self):
+        a = generate_tpch(0.002, seed=9)
+        b = generate_tpch(0.002, seed=9)
+        assert np.array_equal(a["lineitem"]["l_suppkey"], b["lineitem"]["l_suppkey"])
+        c = generate_tpch(0.002, seed=10)
+        assert not np.array_equal(
+            a["lineitem"]["l_suppkey"], c["lineitem"]["l_suppkey"]
+        )
+
+    def test_nations_cover_regions(self, data):
+        assert set(data["nation"]["n_regionkey"].tolist()) == set(range(5))
+
+
+class TestQueries:
+    @pytest.mark.parametrize("qid", sorted(TPCH_QUERIES))
+    def test_engines_agree(self, tpch_db, qid):
+        assert_engines_agree(tpch_db, TPCH_QUERIES[qid])
+
+    def test_q4_returns_all_priorities(self, tpch_db):
+        rows = tpch_db.sql(TPCH_QUERIES["q4"]).rows()
+        assert len(rows) == 5
+        assert all(count > 0 for _, count in rows)
+
+    def test_q5_revenue_positive(self, tpch_db):
+        rows = tpch_db.sql(TPCH_QUERIES["q5"]).rows()
+        assert rows, "ASIA should have revenue at this scale"
+        revenues = [r[1] for r in rows]
+        assert revenues == sorted(revenues, reverse=True)
+
+    def test_q10_limit_and_order(self, tpch_db):
+        rows = tpch_db.sql(TPCH_QUERIES["q10"]).rows()
+        assert len(rows) == 20
+        revenues = [r[2] for r in rows]
+        assert revenues == sorted(revenues, reverse=True)
+
+    @pytest.mark.parametrize("qid", sorted(FIGURE7_VARIANTS))
+    def test_figure7_variants_agree(self, tpch_db, qid):
+        for variant, sql in FIGURE7_VARIANTS[qid].items():
+            assert_engines_agree(
+                tpch_db, sql, engines=["lolepop", "monolithic"]
+            )
+
+    def test_query_tables_listed(self):
+        assert set(QUERY_TABLES) == set(TPCH_QUERIES)

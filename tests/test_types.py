@@ -1,0 +1,121 @@
+"""Unit tests for the type system (repro.types)."""
+
+import datetime
+
+import pytest
+
+from repro.errors import BindError, CatalogError
+from repro.types import (
+    DataType,
+    Field,
+    Schema,
+    common_numeric_type,
+    date_to_days,
+    days_to_date,
+    parse_type,
+)
+
+
+class TestParseType:
+    def test_canonical_names(self):
+        assert parse_type("int64") is DataType.INT64
+        assert parse_type("float64") is DataType.FLOAT64
+        assert parse_type("string") is DataType.STRING
+        assert parse_type("bool") is DataType.BOOL
+        assert parse_type("date") is DataType.DATE
+
+    def test_sql_aliases(self):
+        assert parse_type("BIGINT") is DataType.INT64
+        assert parse_type("double") is DataType.FLOAT64
+        assert parse_type("text") is DataType.STRING
+        assert parse_type("boolean") is DataType.BOOL
+
+    def test_parameterized_types(self):
+        assert parse_type("varchar(32)") is DataType.STRING
+        assert parse_type("decimal(12, 2)") is DataType.FLOAT64
+
+    def test_passthrough(self):
+        assert parse_type(DataType.DATE) is DataType.DATE
+
+    def test_unknown_type(self):
+        with pytest.raises(CatalogError):
+            parse_type("blob")
+
+
+class TestNumericPromotion:
+    def test_int_int(self):
+        assert common_numeric_type(DataType.INT64, DataType.INT64) is DataType.INT64
+
+    def test_int_float(self):
+        assert common_numeric_type(DataType.INT64, DataType.FLOAT64) is DataType.FLOAT64
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(BindError):
+            common_numeric_type(DataType.STRING, DataType.INT64)
+
+
+class TestDates:
+    def test_epoch(self):
+        assert date_to_days(datetime.date(1970, 1, 1)) == 0
+
+    def test_roundtrip(self):
+        day = date_to_days("1995-06-17")
+        assert days_to_date(day) == datetime.date(1995, 6, 17)
+
+    def test_string_and_date_agree(self):
+        assert date_to_days("1992-01-01") == date_to_days(datetime.date(1992, 1, 1))
+
+    def test_int_passthrough(self):
+        assert date_to_days(1234) == 1234
+
+    def test_invalid_string(self):
+        with pytest.raises(BindError):
+            date_to_days("not-a-date")
+
+    def test_bool_rejected(self):
+        with pytest.raises(BindError):
+            date_to_days(True)
+
+
+class TestSchema:
+    def test_of_and_lookup(self):
+        schema = Schema.of(("a", "int64"), ("B", "string"))
+        assert schema.names() == ["a", "B"]
+        assert schema.index_of("b") == 1  # case-insensitive
+        assert schema["a"].dtype is DataType.INT64
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema.of(("a", "int64"), ("A", "string"))
+
+    def test_unknown_column(self):
+        schema = Schema.of(("a", "int64"))
+        with pytest.raises(CatalogError):
+            schema.index_of("zz")
+        assert schema.maybe_index_of("zz") is None
+
+    def test_concat_renames_collisions(self):
+        left = Schema.of(("a", "int64"), ("b", "int64"))
+        right = Schema.of(("b", "string"), ("c", "string"))
+        merged = left.concat(right)
+        assert merged.names() == ["a", "b", "b_1", "c"]
+        assert merged["b_1"].dtype is DataType.STRING
+
+    def test_concat_double_collision(self):
+        left = Schema.of(("x", "int64"), ("x_1", "int64"))
+        right = Schema.of(("x", "string"))
+        merged = left.concat(right)
+        assert merged.names() == ["x", "x_1", "x_2"]
+
+    def test_select(self):
+        schema = Schema.of(("a", "int64"), ("b", "string"), ("c", "bool"))
+        sub = schema.select(["c", "a"])
+        assert sub.names() == ["c", "a"]
+
+    def test_equality(self):
+        assert Schema.of(("a", "int64")) == Schema.of(("a", "int64"))
+        assert Schema.of(("a", "int64")) != Schema.of(("a", "float64"))
+
+    def test_field_equality_and_hash(self):
+        assert Field("a", "int64") == Field("a", DataType.INT64)
+        assert hash(Field("a", "int64")) == hash(Field("a", DataType.INT64))
