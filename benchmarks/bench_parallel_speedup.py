@@ -1,0 +1,80 @@
+"""Parallel mode — measured wall time vs. the simulated makespan.
+
+Runs sort-/partition-heavy queries under ``execution_mode="parallel"`` and
+prints the measured serial work, the simulated makespan (what list
+scheduling predicts at T threads), and the measured parallel wall time
+side by side. On multi-core hosts the measured time should track the
+makespan because the hot kernels (lexsort, argsort, gathers, hash
+partitioning) release the GIL; on a single-core host — such as most CI
+containers — threads cannot overlap and the measured time stays near the
+serial time, which is itself informative: the gap between the two columns
+is exactly the hardware's contribution.
+"""
+
+import os
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.bench import format_modes_row, measure_modes
+from repro.tpch import populate_database
+
+from conftest import SCALE_FACTOR
+
+THREADS = int(os.environ.get("REPRO_PAR_THREADS", "4"))
+PARTITIONS = 16
+
+#: Sort/partition-dominated shapes (the paper's ordered-set and window
+#: pipelines) — the queries where morsel-parallel SORT matters most.
+QUERIES = {
+    "percentile": (
+        "SELECT l_returnflag, "
+        "percentile_disc(0.5) WITHIN GROUP (ORDER BY l_extendedprice) "
+        "FROM lineitem GROUP BY l_returnflag"
+    ),
+    "window-rank": (
+        "SELECT l_orderkey, l_extendedprice, "
+        "rank() OVER (PARTITION BY l_returnflag "
+        "ORDER BY l_extendedprice, l_orderkey) AS rk FROM lineitem"
+    ),
+    "global-sort": (
+        "SELECT l_orderkey, l_extendedprice FROM lineitem "
+        "ORDER BY l_extendedprice DESC, l_orderkey LIMIT 100"
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    populate_database(
+        database, scale_factor=SCALE_FACTOR, seed=42, tables=["lineitem"]
+    )
+    return database
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_parallel_vs_simulated(benchmark, db, report, name):
+    sql = QUERIES[name]
+
+    def run():
+        return measure_modes(
+            db, sql, "lolepop", THREADS, num_partitions=PARTITIONS
+        )
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Correctness guard: both modes must return the same number of rows.
+    assert comparison.parallel.rows == comparison.simulated.rows
+    benchmark.extra_info["serial_ms"] = comparison.simulated.serial_time * 1e3
+    benchmark.extra_info["makespan_ms"] = (
+        comparison.simulated.simulated_time * 1e3
+    )
+    benchmark.extra_info["measured_parallel_ms"] = (
+        comparison.parallel.simulated_time * 1e3
+    )
+    benchmark.extra_info["measured_speedup"] = comparison.measured_speedup
+    report.add(
+        "Parallel mode — simulated makespan vs measured wall time "
+        f"(cores available: {os.cpu_count()})",
+        format_modes_row(name, comparison),
+    )

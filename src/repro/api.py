@@ -42,9 +42,12 @@ class Database:
         self,
         num_threads: int = 1,
         config: Optional[EngineConfig] = None,
+        execution_mode: str = "simulated",
     ):
         self.catalog = Catalog()
-        self.config = config or EngineConfig(num_threads=num_threads)
+        self.config = config or EngineConfig(
+            num_threads=num_threads, execution_mode=execution_mode
+        )
 
     # ------------------------------------------------------------------
     # Catalog management

@@ -120,7 +120,11 @@ class _MonolithicRunner:
         schema = batches[0].schema
         num = self.config.num_partitions if partition_keys else 1
         buffer = TupleBuffer(schema, num, partition_keys)
-        self.ctx.parallel_for(operator, batches, buffer.append_partitioned)
+        # Pure per-morsel scatter + post-barrier merge, so the chunk order
+        # stays deterministic under the real thread pool.
+        pieces = self.ctx.parallel_for(operator, batches, buffer.scatter_batch)
+        for piece_list in pieces:
+            buffer.append_pieces(piece_list)
         self.ctx.next_phase()
         key_names = [name for name, _ in sort_keys]
         descending = [desc for _, desc in sort_keys]

@@ -11,7 +11,15 @@ from .workloads import (
     FIGURE8_QUERIES,
     TABLE3_CATEGORIES,
 )
-from .harness import BenchResult, run_query, measure, format_table3_row
+from .harness import (
+    BenchResult,
+    ModeComparison,
+    run_query,
+    measure,
+    measure_modes,
+    format_modes_row,
+    format_table3_row,
+)
 
 __all__ = [
     "TABLE2_QUERIES",
@@ -19,7 +27,10 @@ __all__ = [
     "FIGURE8_QUERIES",
     "TABLE3_CATEGORIES",
     "BenchResult",
+    "ModeComparison",
     "run_query",
     "measure",
+    "measure_modes",
+    "format_modes_row",
     "format_table3_row",
 ]

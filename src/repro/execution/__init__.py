@@ -1,22 +1,35 @@
 """Execution substrate: morsel scheduling, traces, engine configuration.
 
-CPython cannot run data-parallel threads, so parallelism is *simulated*
-(DESIGN.md §4): every work item (morsel, partition, merge step) executes
-serially and is timed; the :class:`~repro.execution.scheduler.SimulatedScheduler`
-then list-schedules the measured durations onto T virtual workers with
-pipeline barriers. The resulting makespan is the simulated parallel wall
-time, and the per-thread intervals form the execution traces of Figure 8.
+Two execution modes share one barrier API (``run_region``):
+
+- **simulated** (default): every work item executes serially and is timed;
+  the :class:`~repro.execution.scheduler.SimulatedScheduler` list-schedules
+  the measured durations onto T virtual workers with pipeline barriers
+  (DESIGN.md §4). The resulting makespan is the simulated parallel wall
+  time, and the per-thread intervals form the execution traces of Figure 8.
+- **parallel**: the :class:`~repro.execution.parallel.ParallelScheduler`
+  runs the same work items on a real thread pool. The numpy kernels release
+  the GIL, so independent partitions genuinely overlap on multi-core
+  hardware; traces record measured per-worker wall-clock spans.
+
+``EngineConfig(execution_mode=...)`` selects the mode; see
+docs/architecture.md ("Execution modes") for when the simulated makespan
+and the measured parallel time should agree.
 """
 
-from .scheduler import SimulatedScheduler, WorkItem
+from .scheduler import SimulatedScheduler, SplittableTask, WorkItem
+from .parallel import ParallelScheduler
 from .trace import ExecutionTrace, TraceRecord
-from .context import EngineConfig, ExecutionContext
+from .context import EXECUTION_MODES, EngineConfig, ExecutionContext
 
 __all__ = [
     "SimulatedScheduler",
+    "ParallelScheduler",
+    "SplittableTask",
     "WorkItem",
     "ExecutionTrace",
     "TraceRecord",
+    "EXECUTION_MODES",
     "EngineConfig",
     "ExecutionContext",
 ]

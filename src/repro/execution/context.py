@@ -4,8 +4,16 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
+from .parallel import ParallelScheduler
 from .scheduler import SimulatedScheduler
 from .trace import ExecutionTrace
+
+#: ``simulated`` — work items run serially, measured durations are
+#: list-scheduled onto virtual threads (deterministic makespan model).
+#: ``parallel`` — work items run on a real thread pool; numpy kernels
+#: release the GIL, so independent partitions overlap on multi-core
+#: hardware.
+EXECUTION_MODES = ("simulated", "parallel")
 
 
 class EngineConfig:
@@ -22,6 +30,7 @@ class EngineConfig:
         num_partitions: int = 64,
         morsel_size: int = 100_000,
         collect_trace: bool = False,
+        execution_mode: str = "simulated",
         # --- optimizer ablation flags (LOLEPOP engine only) -------------
         reuse_buffers: bool = True,
         elide_sorts: bool = True,
@@ -36,10 +45,16 @@ class EngineConfig:
         # --- cost-based decisions (paper §7 future work) ------------------
         cost_based_distinct: bool = False,
     ):
+        if execution_mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution_mode {execution_mode!r}; "
+                f"choose from {EXECUTION_MODES}"
+            )
         self.num_threads = num_threads
         self.num_partitions = num_partitions
         self.morsel_size = morsel_size
         self.collect_trace = collect_trace
+        self.execution_mode = execution_mode
         self.reuse_buffers = reuse_buffers
         self.elide_sorts = elide_sorts
         self.merge_unbounded_windows = merge_unbounded_windows
@@ -64,7 +79,14 @@ class ExecutionContext:
     def __init__(self, config: Optional[EngineConfig] = None):
         self.config = config or EngineConfig()
         self.trace = ExecutionTrace() if self.config.collect_trace else None
-        self.scheduler = SimulatedScheduler(self.config.num_threads, self.trace)
+        if self.config.execution_mode == "parallel":
+            self.scheduler = ParallelScheduler(
+                self.config.num_threads, self.trace
+            )
+        else:
+            self.scheduler = SimulatedScheduler(
+                self.config.num_threads, self.trace
+            )
         self._phase = "p0"
         self._phase_counter = 0
         self._spill_manager = None

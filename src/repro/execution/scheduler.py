@@ -38,6 +38,36 @@ class WorkItem(NamedTuple):
     splittable: bool = False
 
 
+class SplittableTask:
+    """A work item that can cooperatively subdivide into independent
+    sub-thunks — real intra-item parallelism for the parallel scheduler.
+
+    The simulated scheduler treats these like any other item: the region's
+    ``fn`` runs the whole task (call :meth:`run`). The parallel scheduler,
+    when a region is marked ``splittable`` and has fewer items than worker
+    threads, asks :meth:`split` for at most ``max_parts`` independent
+    sub-thunks, executes them concurrently, and calls :meth:`finalize` with
+    their results (in sub-thunk order) on the submitting thread after the
+    region barrier. ``split`` may return ``None`` to decline (the item then
+    runs whole via ``fn``); whatever it returns, the final result must be
+    identical to :meth:`run`'s — splitting is an execution strategy, never
+    a semantic change.
+    """
+
+    def run(self):
+        """Execute the whole item (the unsplit fallback)."""
+        raise NotImplementedError
+
+    def split(self, max_parts: int) -> Optional[List[Callable[[], object]]]:
+        """Return up to ``max_parts`` independent sub-thunks, or ``None``
+        to run unsplit."""
+        return None
+
+    def finalize(self, sub_results: List) -> object:
+        """Combine sub-thunk results; runs after the barrier, serially."""
+        raise NotImplementedError
+
+
 class SimulatedScheduler:
     """Greedy list scheduler over T virtual threads with region barriers."""
 

@@ -39,11 +39,15 @@ class QueryResult:
         self.batch = batch
         #: Total measured single-threaded work (seconds).
         self.serial_time = serial_time
-        #: List-scheduled makespan on the configured thread count (seconds).
+        #: Parallel wall time at the configured thread count (seconds): the
+        #: list-scheduled makespan in simulated mode, the *measured* sum of
+        #: region spans in parallel mode.
         self.simulated_time = simulated_time
         self.trace = trace
-        #: Every LOLEPOP DAG built during execution (top region first... in
-        #: construction order).
+        #: Every LOLEPOP DAG built during execution, in construction order:
+        #: a region's DAG is appended before any nested region its SOURCE
+        #: thunk triggers, so the query's top region always comes first and
+        #: nested regions follow in the order execution reached them.
         self.dags = dags
 
     @property

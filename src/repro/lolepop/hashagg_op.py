@@ -205,23 +205,31 @@ def two_phase_aggregate(
 
     partials = ctx.parallel_for(operator, batches, preaggregate)
     # Scatter partials into hash partitions (chunk-list concatenation in the
-    # paper; cheap, charged to the same operator).
-    buckets: List[List[Batch]] = [[] for _ in range(num_partitions)]
+    # paper; cheap, charged to the same operator). The scatter itself is a
+    # pure per-partial function; the pieces land in the pre-allocated
+    # buckets after the barrier, in partial order, so the bucket contents
+    # are deterministic under real threads.
 
-    def scatter(partial: Batch) -> None:
+    def scatter(partial: Batch) -> List:
         if len(partial) == 0:
-            return
+            return []
         keys = [partial.column(name) for name in key_names]
         ids = partition_ids(keys, num_partitions)
         order = np.argsort(ids, kind="stable")
         sorted_ids = ids[order]
         bounds = np.searchsorted(sorted_ids, np.arange(num_partitions + 1))
+        pieces = []
         for pid in range(num_partitions):
             lo, hi = bounds[pid], bounds[pid + 1]
             if lo < hi:
-                buckets[pid].append(partial.take(order[lo:hi]))
+                pieces.append((pid, partial.take(order[lo:hi])))
+        return pieces
 
-    ctx.parallel_for(operator, partials, scatter)
+    scattered = ctx.parallel_for(operator, partials, scatter)
+    buckets: List[List[Batch]] = [[] for _ in range(num_partitions)]
+    for piece_list in scattered:
+        for pid, piece in piece_list:
+            buckets[pid].append(piece)
     ctx.next_phase()
 
     # Phase 2: merge each partition with dynamically-growing tables.

@@ -49,19 +49,30 @@ class PartitionOp(Lolepop):
         schema = batches[0].schema
         buffer = TupleBuffer(schema, self.num_partitions, self.keys)
         if self.keys:
-            ctx.parallel_for(
-                "partition", batches, buffer.append_partitioned
-            )
+            # Per-morsel scatter is a pure function (no shared-buffer
+            # writes from work items); the chunk-list merge appends the
+            # pieces after the barrier in submission order, so the chunk
+            # order is deterministic under real threads.
+            pieces = ctx.parallel_for("partition", batches, buffer.scatter_batch)
+            for piece_list in pieces:
+                buffer.append_pieces(piece_list)
         else:
-            targets = [
-                (i % self.num_partitions, batch) for i, batch in enumerate(batches)
+            # Round-robin scatter: group morsels by target partition so
+            # each work item owns exactly one partition (disjoint writes).
+            targets: List[Tuple[int, List[Batch]]] = [
+                (pid, []) for pid in range(self.num_partitions)
             ]
+            for i, batch in enumerate(batches):
+                targets[i % self.num_partitions][1].append(batch)
 
-            def scatter(item: Tuple[int, Batch]) -> None:
-                pid, batch = item
-                buffer.partitions[pid].append(batch)
+            def scatter(item: Tuple[int, List[Batch]]) -> None:
+                pid, parts = item
+                for batch in parts:
+                    buffer.partitions[pid].append(batch)
 
-            ctx.parallel_for("partition", targets, scatter)
+            ctx.parallel_for(
+                "partition", [t for t in targets if t[1]], scatter
+            )
         if self.compact:
             ctx.next_phase()
             ctx.parallel_for(

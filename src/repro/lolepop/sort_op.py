@@ -12,14 +12,85 @@ has the required ordering as a prefix, the sort is a no-op.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..execution.context import ExecutionContext
-from ..storage.buffer import TupleBuffer
+from ..execution.scheduler import SplittableTask
+from ..storage.buffer import BufferPartition, TupleBuffer
+from ..storage.keys import split_lexsort
 from .base import Lolepop, OpResult
 
 #: Tuples at least this wide (columns) sort via permutation vectors.
 PERMUTATION_WIDTH_THRESHOLD = 8
+
+
+class PartitionSortTask(SplittableTask):
+    """Sort one hash partition; optionally as parallel sub-sorts.
+
+    ``run`` is the whole-item path (what the simulated scheduler times and
+    what the parallel scheduler uses when the region already has enough
+    items). ``split``/``finalize`` implement the paper's morsel-driven
+    per-partition sort: range-partition on the primary key, sub-sort the
+    buckets concurrently, concatenate the orders — bit-identical to the
+    serial stable sort (see :func:`repro.storage.keys.split_lexsort`).
+    """
+
+    def __init__(
+        self,
+        buffer: TupleBuffer,
+        partition: BufferPartition,
+        key_names: Sequence[str],
+        descending: Sequence[bool],
+        mode: str,
+        prefix: int,
+    ):
+        self.buffer = buffer
+        self.partition = partition
+        self.key_names = list(key_names)
+        self.descending = list(descending)
+        self.mode = mode
+        self.prefix = prefix
+        self._finalize_order = None
+
+    # -- whole-item path ----------------------------------------------
+    def run(self) -> None:
+        partition = self.partition
+        # The fast path requires the previous order to be physical (and
+        # spilled partitions were stored in logical order).
+        was_spilled = partition.is_spilled
+        usable_prefix = self.prefix if partition.permutation is None else 0
+        if self.mode == "permutation" and not self.buffer.spilling:
+            partition.sort_permutation(
+                self.key_names, self.descending, usable_prefix
+            )
+        else:
+            partition.sort_inplace(
+                self.key_names, self.descending, usable_prefix
+            )
+        if self.buffer.spilling and was_spilled:
+            # Partition-at-a-time processing: write back and release.
+            partition.spill(self.buffer.spill_manager)
+
+    # -- split path ----------------------------------------------------
+    def split(self, max_parts: int) -> Optional[List]:
+        partition = self.partition
+        if self.buffer.spilling or partition.is_spilled:
+            return None
+        if self.prefix and partition.permutation is None:
+            # The presorted-prefix fast path beats a split re-sort.
+            return None
+        chunk = partition.compact()
+        columns = [chunk.column(name) for name in self.key_names]
+        plan = split_lexsort(columns, self.descending, max_parts)
+        if plan is None:
+            return None
+        thunks, self._finalize_order = plan
+        return thunks
+
+    def finalize(self, sub_results: List) -> None:
+        order = self._finalize_order(sub_results)
+        mode = "permutation" if self.mode == "permutation" else "inplace"
+        self.partition.apply_sort_order(order, self.key_names, mode)
 
 
 class SortOp(Lolepop):
@@ -70,24 +141,13 @@ class SortOp(Lolepop):
             ):
                 prefix += 1
 
-        def sort_partition(partition) -> None:
-            # The fast path requires the previous order to be physical (and
-            # spilled partitions were stored in logical order).
-            was_spilled = partition.is_spilled
-            usable_prefix = prefix if partition.permutation is None else 0
-            if mode == "permutation" and not buffer.spilling:
-                partition.sort_permutation(key_names, descending, usable_prefix)
-            else:
-                partition.sort_inplace(key_names, descending, usable_prefix)
-            if buffer.spilling and was_spilled:
-                # Partition-at-a-time processing: write back and release.
-                partition.spill(buffer.spill_manager)
-
+        tasks = [
+            PartitionSortTask(buffer, p, key_names, descending, mode, prefix)
+            for p in buffer.partitions
+            if p.num_rows > 1
+        ]
         ctx.parallel_for(
-            "sort",
-            [p for p in buffer.partitions if p.num_rows > 1],
-            sort_partition,
-            splittable=True,
+            "sort", tasks, PartitionSortTask.run, splittable=True
         )
         buffer.set_ordering(required)
         return buffer

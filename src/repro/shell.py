@@ -8,7 +8,8 @@ commands:
     .schema <table>            show a table's columns
     .load tpch [SF]            generate and load TPC-H tables
     .engine [name]             show or switch the engine
-    .threads <n>               set the simulated thread count
+    .threads <n>               set the thread count
+    .mode [simulated|parallel] show or switch the execution mode
     .explain <sql>             show the logical plan
     .lolepop <sql>             show the LOLEPOP DAG
     .trace <sql>               run with trace collection and render it
@@ -37,6 +38,7 @@ class Shell:
         self.db = database or Database()
         self.engine = "lolepop"
         self.threads = 4
+        self.mode = "simulated"
         self.timing = True
         self.out = out or sys.stdout
 
@@ -91,6 +93,18 @@ class Shell:
             except ValueError:
                 self.write("usage: .threads <n>")
             self.write(f"threads: {self.threads}")
+        elif command == ".mode":
+            from .execution.context import EXECUTION_MODES
+
+            if argument:
+                if argument not in EXECUTION_MODES:
+                    self.write(
+                        f"unknown mode: {argument} "
+                        f"(choose from {', '.join(EXECUTION_MODES)})"
+                    )
+                else:
+                    self.mode = argument
+            self.write(f"mode: {self.mode}")
         elif command == ".timing":
             self.timing = argument.lower() != "off"
             self.write(f"timing: {'on' if self.timing else 'off'}")
@@ -122,7 +136,9 @@ class Shell:
 
     def _config(self, collect_trace: bool = False) -> EngineConfig:
         return EngineConfig(
-            num_threads=self.threads, collect_trace=collect_trace
+            num_threads=self.threads,
+            collect_trace=collect_trace,
+            execution_mode=self.mode,
         )
 
     def _guarded(self, action) -> None:
@@ -141,9 +157,12 @@ class Shell:
             format_table(result.schema.names(), result.rows())
         )
         if self.timing:
+            kind = (
+                "measured" if self.mode == "parallel" else "simulated"
+            )
             self.write(
                 f"work {result.serial_time * 1000:.2f} ms, "
-                f"simulated {self.threads}-thread makespan "
+                f"{kind} {self.threads}-thread makespan "
                 f"{result.simulated_time * 1000:.2f} ms [{self.engine}]"
             )
 

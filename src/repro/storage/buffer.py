@@ -213,6 +213,27 @@ class BufferPartition:
             name: col.take(order) for name, col in zip(key_names, columns)
         }
 
+    def apply_sort_order(
+        self,
+        order: np.ndarray,
+        key_names: Sequence[str],
+        mode: str = "inplace",
+    ) -> None:
+        """Install an externally computed sort permutation over the
+        compacted chunk — the merge step of a parallel split sort. Matches
+        what :meth:`sort_inplace` / :meth:`sort_permutation` would have
+        produced from the same permutation."""
+        chunk = self.compact()
+        if mode == "permutation":
+            self.permutation = order
+            self.key_cache = {
+                name: chunk.column(name).take(order) for name in key_names
+            }
+        else:
+            self.chunks = [chunk.take(order)]
+            self.permutation = None
+            self.key_cache = {}
+
     def ordered_batch(self) -> Batch:
         """The partition's rows in logical (sorted, if any) order.
 
@@ -304,27 +325,42 @@ class TupleBuffer:
     # ------------------------------------------------------------------
     # Build paths
     # ------------------------------------------------------------------
-    def append_partitioned(self, batch: Batch) -> None:
-        """Scatter one batch into the hash partitions by ``partitioned_by``.
-
-        With no partition keys (or a single partition) the batch is appended
-        to partition 0 unchanged.
+    def scatter_batch(self, batch: Batch) -> List[Tuple[int, Batch]]:
+        """Pure scatter: split one batch into ``(partition id, sub-batch)``
+        pieces by the hash of ``partitioned_by`` *without mutating the
+        buffer*. This is the thread-safe half of :meth:`append_partitioned`:
+        work items scatter concurrently, and the caller appends the pieces
+        after the region barrier in deterministic submission order.
         """
         if len(batch) == 0:
-            return
+            return []
         if not self.partitioned_by or self.num_partitions == 1:
-            self.partitions[0].append(batch)
-            return
+            return [(0, batch)]
         key_columns = [batch.column(name) for name in self.partitioned_by]
         ids = keys_mod.partition_ids(key_columns, self.num_partitions)
         # Scatter via one stable argsort over partition ids.
         order = np.argsort(ids, kind="stable")
         sorted_ids = ids[order]
         bounds = np.searchsorted(sorted_ids, np.arange(self.num_partitions + 1))
+        pieces: List[Tuple[int, Batch]] = []
         for pid in range(self.num_partitions):
             lo, hi = bounds[pid], bounds[pid + 1]
             if lo < hi:
-                self.partitions[pid].append(batch.take(order[lo:hi]))
+                pieces.append((pid, batch.take(order[lo:hi])))
+        return pieces
+
+    def append_pieces(self, pieces: Sequence[Tuple[int, Batch]]) -> None:
+        """Append scattered pieces to their partitions (serial merge step)."""
+        for pid, piece in pieces:
+            self.partitions[pid].append(piece)
+
+    def append_partitioned(self, batch: Batch) -> None:
+        """Scatter one batch into the hash partitions by ``partitioned_by``.
+
+        With no partition keys (or a single partition) the batch is appended
+        to partition 0 unchanged.
+        """
+        self.append_pieces(self.scatter_batch(batch))
 
     @classmethod
     def from_batches(

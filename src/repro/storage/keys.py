@@ -168,3 +168,71 @@ def lexsort_indices(
     ]
     # np.lexsort treats the *last* key as primary.
     return np.lexsort(tuple(reversed(keys)))
+
+
+#: Below this row count, splitting a sort costs more than it saves.
+SPLIT_SORT_MIN_ROWS = 4096
+
+
+def split_lexsort(
+    columns: Sequence[Column],
+    descending: Optional[Sequence[bool]] = None,
+    parts: int = 2,
+):
+    """Decompose :func:`lexsort_indices` into independent sub-sorts.
+
+    The paper's SORT is a morsel-driven partition sort (§4.4): one large
+    hash partition is itself parallel work. We range-partition the rows on
+    the primary sort key using sampled splitters (all rows with equal
+    primary key land in the same bucket, buckets are contiguous key
+    ranges), stable-sort each bucket independently — that is the thunk the
+    parallel scheduler fans out — and concatenate the per-bucket orders.
+
+    Returns ``(thunks, finalize)`` where each thunk yields the sorted row
+    indices of one bucket and ``finalize`` concatenates them into the full
+    permutation, or ``None`` when splitting is not worthwhile. The combined
+    permutation is *identical* to ``lexsort_indices(columns, descending)``:
+    both are the unique stable order, so parallel and serial SORT agree
+    bit-for-bit.
+    """
+    if not columns:
+        raise ValueError("split_lexsort requires at least one key column")
+    n = len(columns[0])
+    if parts < 2 or n < SPLIT_SORT_MIN_ROWS:
+        return None
+    if descending is None:
+        descending = [False] * len(columns)
+    keys = [
+        col.sort_key(descending=desc, nulls_last=True)
+        for col, desc in zip(columns, descending)
+    ]
+    primary = keys[0]
+    # Sampled splitters at bucket quantiles (deterministic stride sample).
+    sample = np.sort(primary[:: max(1, n // 1024)], kind="stable")
+    positions = (np.arange(1, parts) * len(sample)) // parts
+    splitters = sample[positions]
+    buckets = np.searchsorted(splitters, primary, side="right")
+    # Stable distribution: bucket-major, original order within a bucket.
+    order = np.argsort(buckets, kind="stable")
+    bounds = np.searchsorted(buckets[order], np.arange(parts + 1))
+    reversed_keys = tuple(reversed(keys))
+
+    def make_thunk(indices: np.ndarray):
+        def thunk() -> np.ndarray:
+            local = np.lexsort(tuple(k[indices] for k in reversed_keys))
+            return indices[local]
+
+        return thunk
+
+    thunks = []
+    for b in range(parts):
+        indices = order[bounds[b] : bounds[b + 1]]
+        if len(indices):
+            thunks.append(make_thunk(indices))
+    if len(thunks) < 2:
+        return None
+
+    def finalize(pieces) -> np.ndarray:
+        return np.concatenate(pieces)
+
+    return thunks, finalize

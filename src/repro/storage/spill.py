@@ -14,6 +14,7 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
+import threading
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -47,13 +48,18 @@ class SpillManager:
         self.directory = directory or tempfile.mkdtemp(prefix="repro-spill-")
         self._counter = 0
         self._live_paths: set = set()
+        #: Guards slot allocation and counters: spill/load runs inside work
+        #: items, which execute on real worker threads in parallel mode.
+        self._lock = threading.Lock()
         #: Total bytes currently on disk (approximate, for introspection).
         self.spilled_bytes = 0
         self.spill_events = 0
 
     def next_path(self) -> str:
-        self._counter += 1
-        return os.path.join(self.directory, f"part-{self._counter:06d}.npz")
+        with self._lock:
+            self._counter += 1
+            counter = self._counter
+        return os.path.join(self.directory, f"part-{counter:06d}.npz")
 
     # ------------------------------------------------------------------
     def write_batch(self, batch: Batch) -> str:
@@ -66,9 +72,10 @@ class SpillManager:
                 payload[f"m{index}"] = column.valid
         with open(path, "wb") as handle:
             np.savez(handle, **payload)
-        self.spilled_bytes += approx_batch_bytes(batch)
-        self.spill_events += 1
-        self._live_paths.add(path)
+        with self._lock:
+            self.spilled_bytes += approx_batch_bytes(batch)
+            self.spill_events += 1
+            self._live_paths.add(path)
         return path
 
     def read_batch(self, path: str, schema: Schema) -> Batch:
@@ -84,7 +91,8 @@ class SpillManager:
         return Batch(schema, columns)
 
     def release(self, path: str) -> None:
-        self._live_paths.discard(path)
+        with self._lock:
+            self._live_paths.discard(path)
         try:
             os.unlink(path)
         except OSError:

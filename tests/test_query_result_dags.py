@@ -1,0 +1,73 @@
+"""Regression tests for QueryResult.dags construction order.
+
+The docstring promises: a region's DAG is appended before any nested
+region its SOURCE thunk triggers, so the query's top region comes first
+and nested regions follow in the order execution reached them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, EngineConfig
+
+
+@pytest.fixture
+def small_db():
+    db = Database()
+    db.create_table("t", {"k": "int64", "q": "float64"})
+    db.insert(
+        "t",
+        {
+            "k": [i % 4 for i in range(40)],
+            "q": [float(i) * 0.25 for i in range(40)],
+        },
+    )
+    return db
+
+
+def test_top_region_dag_comes_before_nested_region(small_db):
+    """The outer percentile region (an ORDAGG dag) is translated before
+    its SOURCE thunk runs the inner GROUP BY (a HASHAGG dag), so the
+    outer dag must be dags[0] and the nested one dags[1]."""
+    result = small_db.sql(
+        "SELECT median(s) FROM "
+        "(SELECT k, sum(q) AS s FROM t GROUP BY k) sub"
+    )
+    assert len(result.dags) == 2
+    outer, inner = result.dags
+    assert any("ORDAGG" in name for name in outer.operator_names())
+    assert any("HASHAGG" in name for name in inner.operator_names())
+    # The nested dag never leaks an ordered-set operator and vice versa.
+    assert not any("ORDAGG" in name for name in inner.operator_names())
+
+
+def test_sibling_regions_appear_in_execution_order(small_db):
+    """Two statistics regions met one after another (window over an
+    aggregate) are appended in the order execution reached them."""
+    result = small_db.sql(
+        "SELECT k, s, row_number() OVER (ORDER BY s, k) AS rn FROM "
+        "(SELECT k, sum(q) AS s FROM t GROUP BY k) sub"
+    )
+    assert len(result.dags) == 2
+    window_dag, agg_dag = result.dags
+    assert any("WINDOW" in name for name in window_dag.operator_names())
+    assert any("HASHAGG" in name for name in agg_dag.operator_names())
+
+
+def test_single_region_query_has_one_dag(small_db):
+    result = small_db.sql("SELECT k, sum(q) FROM t GROUP BY k")
+    assert len(result.dags) == 1
+
+
+@pytest.mark.parametrize("mode", ["simulated", "parallel"])
+def test_dag_order_is_mode_independent(small_db, mode):
+    config = EngineConfig(num_threads=4, execution_mode=mode)
+    result = small_db.sql(
+        "SELECT median(s) FROM "
+        "(SELECT k, sum(q) AS s FROM t GROUP BY k) sub",
+        config=config,
+    )
+    names = [dag.operator_names() for dag in result.dags]
+    assert any("ORDAGG" in n for n in names[0])
+    assert any("HASHAGG" in n for n in names[1])
