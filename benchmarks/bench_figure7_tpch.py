@@ -17,7 +17,7 @@ import pytest
 
 from repro.tpch import FIGURE7_VARIANTS
 
-from conftest import MANY_THREADS, run_once
+from conftest import MANY_THREADS, run_once, write_profile
 
 VARIANT_ORDER = ["base", "+OSA", "+2xOSA", "+G.SET"]
 
@@ -31,7 +31,7 @@ def _cases():
 
 @pytest.mark.parametrize("qid,variant", list(_cases()))
 @pytest.mark.parametrize("engine", ["lolepop", "monolithic"])
-def test_figure7(benchmark, tpch, report, qid, variant, engine):
+def test_figure7(benchmark, tpch, report, profile_dir, qid, variant, engine):
     sql = FIGURE7_VARIANTS[qid][variant]
 
     def run():
@@ -42,6 +42,17 @@ def test_figure7(benchmark, tpch, report, qid, variant, engine):
     result, time_at = benchmark.pedantic(run, rounds=1, iterations=1)
     time_at = min(time_at, warm_time)
     benchmark.extra_info["simulated_time"] = time_at
+    if profile_dir and engine == "lolepop":
+        # One extra, instrumented run — kept out of the timed path so the
+        # profile's overhead never contaminates the benchmark numbers.
+        profiled, _ = run_once(
+            tpch, sql, engine, MANY_THREADS,
+            collect_metrics=True, collect_trace=True,
+        )
+        safe_variant = variant.replace("+", "plus_").replace(".", "")
+        write_profile(
+            profile_dir, f"figure7_{qid}_{safe_variant}", profiled
+        )
     report.add(
         f"FIGURE 7 — TPC-H {qid} ± extra aggregates ({MANY_THREADS} threads, simulated)",
         f"{qid:<5} {variant:<8} {engine:<11} {time_at * 1000:9.2f} ms"

@@ -14,6 +14,9 @@ The benchmark prints the ASCII Gantt rendering plus the per-operator work
 series the figure plots.
 """
 
+import json
+import os
+
 import pytest
 
 from repro import Database, EngineConfig
@@ -39,7 +42,7 @@ def db():
 
 
 @pytest.mark.parametrize("number", sorted(FIGURE8_QUERIES))
-def test_figure8_trace(benchmark, db, report, number):
+def test_figure8_trace(benchmark, db, report, profile_dir, number):
     sql = FIGURE8_QUERIES[number]
     config = EngineConfig(
         num_threads=THREADS, num_partitions=PARTITIONS, collect_trace=True
@@ -61,6 +64,31 @@ def test_figure8_trace(benchmark, db, report, number):
             f"({sum(1 for r in trace.records if r.operator == operator)} morsels)",
         )
     benchmark.extra_info["makespan"] = trace.makespan
+
+    # Per-operator breakdown JSON — what Figure 8's bar series plots.
+    breakdown = {
+        "query": number,
+        "sql": sql,
+        "threads": THREADS,
+        "partitions": PARTITIONS,
+        "makespan_s": trace.makespan,
+        "operators": [
+            {
+                "operator": operator,
+                "work_s": trace.total_work(operator),
+                "morsels": sum(
+                    1 for r in trace.records if r.operator == operator
+                ),
+            }
+            for operator in trace.operators()
+        ],
+        "regions": len(trace.regions),
+    }
+    benchmark.extra_info["operator_breakdown"] = breakdown
+    if profile_dir:
+        path = os.path.join(profile_dir, f"figure8_q{number}_breakdown.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(breakdown, handle, indent=1)
 
     if number == 2:
         # The paper's observation: the second sort is significantly faster

@@ -9,6 +9,7 @@ comparison tables collected by the ``report`` fixture.
 
 from __future__ import annotations
 
+import json
 import os
 from collections import defaultdict
 
@@ -23,6 +24,39 @@ MANY_THREADS = int(os.environ.get("REPRO_THREADS", "20"))
 #: Morsel size scaled to the instance so scans split into enough morsels
 #: for morsel-driven parallelism (the paper runs ~600 morsels at SF 10).
 MORSEL_SIZE = int(os.environ.get("REPRO_MORSEL", "8192"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile-dir",
+        action="store",
+        default=None,
+        help="write one per-query profile JSON (operator stats + Chrome "
+        "trace events) into this directory",
+    )
+
+
+@pytest.fixture(scope="session")
+def profile_dir(request):
+    """Target directory of ``--profile-dir``, created on demand; ``None``
+    when profiling output was not requested."""
+    path = request.config.getoption("--profile-dir")
+    if path:
+        os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_profile(directory, name, result):
+    """Serialize one profiled QueryResult as ``<directory>/<name>.json``;
+    no-op (returns None) without a directory or profile."""
+    if not directory or getattr(result, "profile", None) is None:
+        return None
+    path = os.path.join(directory, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            result.profile.to_dict(trace=result.trace), handle, indent=1
+        )
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -119,30 +119,61 @@ class Database:
         'naive', or 'columnar').
 
         ``EXPLAIN <select>`` returns the logical plan as rows;
-        ``EXPLAIN LOLEPOP <select>`` returns the LOLEPOP DAG."""
-        stripped = query.lstrip()
-        if stripped.lower().startswith("explain"):
-            return self._explain_statement(stripped)
+        ``EXPLAIN LOLEPOP <select>`` returns the LOLEPOP DAG;
+        ``EXPLAIN ANALYZE <select>`` executes the query and returns the DAG
+        annotated with actual rows, estimates, and per-operator time."""
+        from .sql.ast import ExplainStmt
+
+        stmt = parse_sql(query)
+        if isinstance(stmt, ExplainStmt):
+            return self._explain_statement(stmt, query, config)
         if engine not in _ENGINES:
             raise ReproError(
                 f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}"
             )
-        plan = self.plan(query)
+        plan = bind(stmt, self.catalog)
         runner = _ENGINES[engine](self.catalog, config or self.config)
+        if engine == "lolepop":
+            return runner.run(plan, query=query)
         return runner.run(plan)
 
-    def _explain_statement(self, query: str) -> QueryResult:
+    def _explain_statement(self, stmt, query: str, config=None) -> QueryResult:
         from .storage.batch import Batch
         from .types import Schema
 
-        rest = query[len("explain"):].lstrip()
-        if rest.lower().startswith("lolepop"):
-            text = self.explain_lolepop(rest[len("lolepop"):].lstrip())
+        plan = bind(stmt.select, self.catalog)
+        trace = None
+        dags: list = []
+        profile = None
+        serial = simulated = 0.0
+        if stmt.mode == "lolepop":
+            text = LolepopEngine(self.catalog, self.config).explain(plan)
+        elif stmt.mode == "analyze":
+            from .observability import render_analyze
+
+            run_config = (config or self.config).clone(
+                collect_metrics=True, collect_trace=True
+            )
+            engine = LolepopEngine(self.catalog, run_config)
+            result = engine.run(plan, query=query)
+            text = render_analyze(result, self.catalog, run_config)
+            trace = result.trace
+            dags = result.dags
+            profile = result.profile
+            serial = result.serial_time
+            simulated = result.simulated_time
         else:
-            text = self.explain(rest)
+            text = explain_plan(plan)
         schema = Schema.of(("plan", "string"))
         batch = Batch.from_pydict(schema, {"plan": text.splitlines()})
-        return QueryResult(batch, 0.0, 0.0, None, [])
+        return QueryResult(batch, serial, simulated, trace, dags, profile=profile)
+
+    def explain_analyze(
+        self, query: str, config: Optional[EngineConfig] = None
+    ) -> str:
+        """Execute ``query`` and return the annotated-DAG report as text."""
+        result = self.sql(f"EXPLAIN ANALYZE {query}", config=config)
+        return "\n".join(result.batch.to_pydict()["plan"])
 
     def explain(self, query: str) -> str:
         """The bound logical plan as ASCII."""

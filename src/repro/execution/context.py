@@ -30,6 +30,7 @@ class EngineConfig:
         num_partitions: int = 64,
         morsel_size: int = 100_000,
         collect_trace: bool = False,
+        collect_metrics: bool = False,
         execution_mode: str = "simulated",
         # --- optimizer ablation flags (LOLEPOP engine only) -------------
         reuse_buffers: bool = True,
@@ -54,6 +55,12 @@ class EngineConfig:
         self.num_partitions = num_partitions
         self.morsel_size = morsel_size
         self.collect_trace = collect_trace
+        #: When True the LOLEPOP engine attaches a
+        #: :class:`~repro.observability.metrics.QueryProfile` to the result
+        #: and every executed operator collects
+        #: :class:`~repro.observability.metrics.OperatorStats`. Off by
+        #: default: the hot path then pays one ``None`` check per DAG node.
+        self.collect_metrics = collect_metrics
         self.execution_mode = execution_mode
         self.reuse_buffers = reuse_buffers
         self.elide_sorts = elide_sorts
@@ -70,6 +77,19 @@ class EngineConfig:
         #: hash pair and the duplicate-sensitive ORDAGG for DISTINCT
         #: aggregates (§3.3's trade). Off = the paper's heuristic default.
         self.cost_based_distinct = cost_based_distinct
+
+    def clone(self, **overrides) -> "EngineConfig":
+        """A copy of this config with keyword overrides applied."""
+        import inspect
+
+        params = inspect.signature(EngineConfig.__init__).parameters
+        kwargs = {
+            name: getattr(self, name)
+            for name in params
+            if name != "self"
+        }
+        kwargs.update(overrides)
+        return EngineConfig(**kwargs)
 
 
 class ExecutionContext:
@@ -90,6 +110,10 @@ class ExecutionContext:
         self._phase = "p0"
         self._phase_counter = 0
         self._spill_manager = None
+        #: Per-query profile, set by the LOLEPOP engine when
+        #: ``config.collect_metrics`` is on; ``None`` otherwise. Operators
+        #: check this before recording anything beyond their base stats.
+        self.profile = None
 
     @property
     def spill_manager(self):
@@ -99,6 +123,23 @@ class ExecutionContext:
 
             self._spill_manager = SpillManager(self.config.spill_directory)
         return self._spill_manager
+
+    def spill_counters(self) -> dict:
+        """Spill byte/event totals so far (zeros when nothing spilled)."""
+        manager = self._spill_manager
+        if manager is None:
+            return {
+                "bytes_written": 0,
+                "bytes_read": 0,
+                "events": 0,
+                "loads": 0,
+            }
+        return {
+            "bytes_written": manager.spilled_bytes,
+            "bytes_read": manager.loaded_bytes,
+            "events": manager.spill_events,
+            "loads": manager.load_events,
+        }
 
     def cleanup(self) -> None:
         """Remove spill files created during this query."""

@@ -41,7 +41,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .scheduler import SplittableTask
-from .trace import ExecutionTrace, TraceRecord
+from .trace import ExecutionTrace, RegionSpan, TraceRecord
 
 _POOLS: Dict[int, ThreadPoolExecutor] = {}
 _POOLS_LOCK = threading.Lock()
@@ -100,6 +100,7 @@ class ParallelScheduler:
         self._worker_ids.clear()
         if self.trace is not None:
             self.trace.records.clear()
+            self.trace.regions.clear()
 
     # ------------------------------------------------------------------
     def run_region(
@@ -169,7 +170,14 @@ class ParallelScheduler:
                 sub_results = [o[0] for o in outcomes[cursor : cursor + count]]
                 cursor += count
                 results.append(item.finalize(sub_results))
+        region_span_start = self._elapsed
         self._elapsed += time.perf_counter() - region_start
+        if self.trace is not None:
+            self.trace.add_region(
+                RegionSpan(
+                    operator, phase, region_span_start, self._elapsed, len(items)
+                )
+            )
         return results
 
     # ------------------------------------------------------------------
@@ -190,6 +198,10 @@ class ParallelScheduler:
                     TraceRecord(0, start, start + duration, operator, phase)
                 )
             start += duration
+        if self.trace is not None and durations:
+            self.trace.add_region(
+                RegionSpan(operator, phase, self._elapsed, start, len(durations))
+            )
         self._elapsed = start
 
     # ------------------------------------------------------------------

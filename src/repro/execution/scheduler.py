@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
-from .trace import ExecutionTrace, TraceRecord
+from .trace import ExecutionTrace, RegionSpan, TraceRecord
 
 #: Minimum simulated duration of one split chunk (seconds). Splitting below
 #: this granularity would model morsels smaller than scheduling overhead.
@@ -92,6 +92,7 @@ class SimulatedScheduler:
         self.serial_time = 0.0
         if self.trace is not None:
             self.trace.records.clear()
+            self.trace.regions.clear()
 
     # ------------------------------------------------------------------
     def run_region(
@@ -138,6 +139,10 @@ class SimulatedScheduler:
                 self.trace.add(
                     TraceRecord(thread, start, start + duration, operator, phase)
                 )
+        if self.trace is not None and durations:
+            self.trace.add_region(
+                RegionSpan(operator, phase, barrier, self.sim_time, len(durations))
+            )
 
     def _split(self, duration: float, splittable: bool) -> List[float]:
         if not splittable or self.num_threads == 1:

@@ -23,14 +23,34 @@ class TraceRecord(NamedTuple):
         return self.end - self.start
 
 
+class RegionSpan(NamedTuple):
+    """One ``run_region`` barrier: the whole parallel region as a span."""
+
+    operator: str
+    phase: str
+    start: float
+    end: float
+    items: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
 class ExecutionTrace:
     """Ordered collection of trace records for one query execution."""
 
     def __init__(self) -> None:
         self.records: List[TraceRecord] = []
+        #: Region-level spans (one per scheduling barrier), on top of the
+        #: per-work-item records; exported as a separate Chrome-trace lane.
+        self.regions: List[RegionSpan] = []
 
     def add(self, record: TraceRecord) -> None:
         self.records.append(record)
+
+    def add_region(self, span: RegionSpan) -> None:
+        self.regions.append(span)
 
     @property
     def makespan(self) -> float:
@@ -56,19 +76,34 @@ class ExecutionTrace:
             if operator is None or r.operator == operator
         )
 
+    def legend_letters(self) -> dict:
+        """Deterministic, collision-free one-letter label per operator.
+
+        Preference order per operator: its first letter uppercased, then the
+        remaining letters of its name uppercased, then the alphabet — the
+        first character not already taken wins, so two operators never share
+        a legend letter no matter how their initials overlap.
+        """
+        letters: dict = {}
+        used: set = set()
+        alphabet = (
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+        )
+        for op in self.operators():
+            candidates = [c.upper() for c in op if c.isalnum()]
+            candidates += list(alphabet)
+            letter = next((c for c in candidates if c not in used), "?")
+            used.add(letter)
+            letters[op] = letter
+        return letters
+
     def render(self, width: int = 100) -> str:
         """ASCII Gantt chart: one row per thread, one letter per operator."""
         if not self.records:
             return "(empty trace)"
         span = self.makespan or 1.0
-        letters = {}
-        legend = []
-        for i, op in enumerate(self.operators()):
-            letter = op[0].upper() if op[0].upper() not in letters.values() else chr(
-                ord("a") + i
-            )
-            letters[op] = letter
-            legend.append(f"{letter}={op}")
+        letters = self.legend_letters()
+        legend = [f"{letter}={op}" for op, letter in letters.items()]
         threads = sorted(self.by_thread())
         lines = [f"makespan: {span * 1000:.2f} ms   " + "  ".join(legend)]
         for thread in threads:

@@ -35,6 +35,9 @@ class Lolepop:
         #: Anti-dependency edges: operators that must run before this one
         #: even though no data flows between them (buffer reordering).
         self.after: List[Lolepop] = []
+        #: :class:`~repro.observability.metrics.OperatorStats` while this
+        #: node executes under ``collect_metrics=True``; ``None`` otherwise.
+        self.stats = None
 
     def name(self) -> str:
         return type(self).__name__.replace("Op", "").upper()
@@ -58,10 +61,18 @@ class SourceOp(Lolepop):
     consumes = "-"
     produces = "stream"
 
-    def __init__(self, thunk: Callable[[], List[Batch]], label: str = "source"):
+    def __init__(
+        self,
+        thunk: Callable[[], List[Batch]],
+        label: str = "source",
+        plan=None,
+    ):
         super().__init__()
         self._thunk = thunk
         self._label = label
+        #: Logical plan this source evaluates, when known — lets EXPLAIN
+        #: ANALYZE estimate the source cardinality.
+        self.plan = plan
 
     def name(self) -> str:
         return "SOURCE"
@@ -79,6 +90,12 @@ class Dag:
     def __init__(self) -> None:
         self.nodes: List[Lolepop] = []
         self.sink: Optional[Lolepop] = None
+        #: Rewrite log: which optimizer passes / translator reuse decisions
+        #: fired while building this DAG (e.g. ``"elide_redundant_sorts x1"``).
+        self.rewrites: List[str] = []
+        #: The statistics-region logical plan this DAG implements, when
+        #: known — EXPLAIN ANALYZE uses it for cardinality estimates.
+        self.region_plan = None
 
     def add(self, op: Lolepop) -> Lolepop:
         if op not in self.nodes:
@@ -128,13 +145,49 @@ class Dag:
 
     def execute(self, ctx: ExecutionContext) -> OpResult:
         """Run the DAG; each operator's execution is one or more pipeline
-        phases of the simulated scheduler."""
+        phases of the simulated scheduler.
+
+        When the context carries a query profile every node gets an
+        :class:`~repro.observability.metrics.OperatorStats` — rows/batches
+        in and out, wall time, and the spill-byte delta attributed to it.
+        The default path pays exactly one ``None`` check per node.
+        """
         results: Dict[int, OpResult] = {}
+        profile = ctx.profile
         for node in self.topological_order():
             ctx.next_phase()
             inputs = [results[id(dep)] for dep in node.inputs]
-            results[id(node)] = node.execute(ctx, inputs)
+            if profile is None:
+                results[id(node)] = node.execute(ctx, inputs)
+                continue
+            results[id(node)] = self._execute_instrumented(ctx, node, inputs)
         return results[id(self.sink)]
+
+    @staticmethod
+    def _execute_instrumented(
+        ctx: ExecutionContext, node: Lolepop, inputs: List[OpResult]
+    ) -> OpResult:
+        import time
+
+        from ..observability.metrics import OperatorStats
+
+        stats = OperatorStats()
+        node.stats = stats
+        for value in inputs:
+            stats.add_input(value)
+        spill_before = ctx.spill_counters()
+        start = time.perf_counter()
+        result = node.execute(ctx, inputs)
+        stats.wall_time += time.perf_counter() - start
+        spill_after = ctx.spill_counters()
+        stats.spill_bytes_written += (
+            spill_after["bytes_written"] - spill_before["bytes_written"]
+        )
+        stats.spill_bytes_read += (
+            spill_after["bytes_read"] - spill_before["bytes_read"]
+        )
+        stats.add_output(result)
+        return result
 
     # ------------------------------------------------------------------
     def explain(self) -> str:

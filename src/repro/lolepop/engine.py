@@ -34,6 +34,7 @@ class QueryResult:
         simulated_time: float,
         trace: Optional[ExecutionTrace],
         dags: List[Dag],
+        profile=None,
     ):
         #: All output rows as one batch.
         self.batch = batch
@@ -49,6 +50,9 @@ class QueryResult:
         #: thunk triggers, so the query's top region always comes first and
         #: nested regions follow in the order execution reached them.
         self.dags = dags
+        #: :class:`~repro.observability.metrics.QueryProfile` when the run
+        #: was configured with ``collect_metrics=True``; ``None`` otherwise.
+        self.profile = profile
 
     @property
     def schema(self):
@@ -62,12 +66,20 @@ class QueryResult:
 
     def operator_summary(self):
         """Per-operator (total work seconds, work-item count) from the
-        execution trace; requires ``collect_trace=True`` in the config."""
+        execution trace; requires ``collect_trace=True`` in the config.
+
+        Every DAG node is listed, including operators that produced no
+        work items (e.g. an elided SORT) — those appear with zero counts
+        so ANALYZE-style output covers the whole DAG.
+        """
         if self.trace is None:
             raise ExecutionError(
                 "no trace collected; run with EngineConfig(collect_trace=True)"
             )
         out = {}
+        for dag in self.dags:
+            for name in dag.operator_names():
+                out.setdefault(name.lower(), (0.0, 0))
         for record in self.trace.records:
             work, count = out.get(record.operator, (0.0, 0))
             out[record.operator] = (work + record.duration, count + 1)
@@ -93,22 +105,63 @@ class LolepopEngine:
         self.config = config or EngineConfig()
 
     # ------------------------------------------------------------------
-    def run(self, plan: LogicalPlan) -> QueryResult:
+    def run(self, plan: LogicalPlan, query: Optional[str] = None) -> QueryResult:
         runner = _Runner(self.catalog, self.config)
+        profile = None
+        if self.config.collect_metrics:
+            from ..observability.metrics import QueryProfile
+
+            profile = QueryProfile(query)
+            profile.num_threads = self.config.num_threads
+            profile.execution_mode = self.config.execution_mode
+            runner.ctx.profile = profile
         try:
             batches = runner.execute_stream(plan)
             batch = (
                 Batch.concat(batches) if batches else Batch.empty(plan.schema)
             )
+            spill = runner.ctx.spill_counters()
         finally:
             runner.ctx.cleanup()
+        if profile is not None:
+            for key, value in spill.items():
+                if value:
+                    profile.count(f"spill.{key}", value)
+            profile.serial_time = runner.ctx.serial_time
+            profile.makespan = runner.ctx.simulated_time
+            for dag in runner.dags:
+                profile.add_dag(dag)
+        self._feed_global_metrics(runner, batch, spill)
         return QueryResult(
             batch,
             runner.ctx.serial_time,
             runner.ctx.simulated_time,
             runner.ctx.trace,
             runner.dags,
+            profile=profile,
         )
+
+    @staticmethod
+    def _feed_global_metrics(runner: "_Runner", batch: Batch, spill: dict) -> None:
+        """A handful of per-query increments into the process-wide registry
+        (cheap: a few dict lookups per query, never per row)."""
+        from ..observability.metrics import GLOBAL_METRICS
+
+        GLOBAL_METRICS.counter("queries.total").inc()
+        GLOBAL_METRICS.counter("queries.rows_out").inc(len(batch))
+        GLOBAL_METRICS.counter("queries.dags").inc(len(runner.dags))
+        GLOBAL_METRICS.counter("queries.work_seconds").inc(
+            runner.ctx.serial_time
+        )
+        GLOBAL_METRICS.histogram("queries.makespan_seconds").observe(
+            runner.ctx.simulated_time
+        )
+        if spill["bytes_written"]:
+            GLOBAL_METRICS.counter("spill.bytes_written").inc(
+                spill["bytes_written"]
+            )
+        if spill["bytes_read"]:
+            GLOBAL_METRICS.counter("spill.bytes_read").inc(spill["bytes_read"])
 
     def explain(self, plan: LogicalPlan) -> str:
         """Translate the topmost statistics region without executing it and

@@ -144,6 +144,7 @@ class HashAggOp(Lolepop):
             self.tasks,
             self.num_partitions,
             two_phase=ctx.config.two_phase_hashagg,
+            stats=self.stats,
         )
 
 
@@ -155,6 +156,7 @@ def two_phase_aggregate(
     num_partitions: int,
     operator: str = "hashagg",
     two_phase: bool = True,
+    stats=None,
 ) -> List[Batch]:
     """The paper's two-phase hash aggregation (Figure 6), shared between the
     HASHAGG LOLEPOP and the monolithic baseline's GROUP BY operator.
@@ -204,6 +206,10 @@ def two_phase_aggregate(
         return aggregate_batch(batch, key_names, tasks)
 
     partials = ctx.parallel_for(operator, batches, preaggregate)
+    if stats is not None:
+        # Recorded on the submitting thread, after the region barrier.
+        stats.extra["partial_rows"] = sum(len(p) for p in partials)
+        stats.extra["preagg_partials"] = len(partials)
     # Scatter partials into hash partitions (chunk-list concatenation in the
     # paper; cheap, charged to the same operator). The scatter itself is a
     # pure per-partial function; the pieces land in the pre-allocated

@@ -79,6 +79,9 @@ class MergeOp(Lolepop):
             runs = [run.slice(0, self.limit_hint) for run in runs]
         if not runs:
             runs = [Batch.empty(buffer.schema)]
+        if self.stats is not None:
+            self.stats.extra["initial_runs"] = len(runs)
+        rounds = 0
         while len(runs) > 1:
             pairs = [
                 (runs[i], runs[i + 1]) if i + 1 < len(runs) else (runs[i], None)
@@ -96,6 +99,9 @@ class MergeOp(Lolepop):
 
             runs = ctx.parallel_for("merge", pairs, merge_pair)
             ctx.next_phase()
+            rounds += 1
+        if self.stats is not None:
+            self.stats.extra["merge_rounds"] = rounds
         result = TupleBuffer(buffer.schema, 1)
         result.partitions[0].append(runs[0])
         result.set_ordering(tuple(self.keys))

@@ -28,15 +28,23 @@ from .window_op import WindowOp
 
 
 def optimize(dag: Dag, config: EngineConfig) -> None:
-    """Run all enabled passes in place."""
+    """Run all enabled passes in place; record fired passes in
+    ``dag.rewrites`` so EXPLAIN ANALYZE and query profiles can show which
+    step-E decisions actually applied."""
     if config.elide_sorts:
-        elide_redundant_sorts(dag)
+        count = elide_redundant_sorts(dag)
+        if count:
+            dag.rewrites.append(f"elide_redundant_sorts x{count}")
     if config.remove_redundant_combines:
-        remove_redundant_combines(dag)
+        count = remove_redundant_combines(dag)
+        if count:
+            dag.rewrites.append(f"remove_redundant_combines x{count}")
 
 
-def remove_redundant_combines(dag: Dag) -> None:
-    """Splice out join-mode COMBINE operators with exactly one input."""
+def remove_redundant_combines(dag: Dag) -> int:
+    """Splice out join-mode COMBINE operators with exactly one input;
+    returns the number of splices."""
+    count = 0
     for node in list(dag.nodes):
         if (
             isinstance(node, CombineOp)
@@ -44,6 +52,8 @@ def remove_redundant_combines(dag: Dag) -> None:
             and len(node.inputs) == 1
         ):
             dag.replace(node, node.inputs[0])
+            count += 1
+    return count
 
 
 def _buffer_root(node: Lolepop, memo: Dict[int, Optional[Lolepop]]) -> Optional[Lolepop]:
@@ -61,11 +71,13 @@ def _buffer_root(node: Lolepop, memo: Dict[int, Optional[Lolepop]]) -> Optional[
     return root
 
 
-def elide_redundant_sorts(dag: Dag) -> None:
+def elide_redundant_sorts(dag: Dag) -> int:
     """Remove SORT operators whose requirement is a prefix of the buffer's
-    ordering at that point of the (topological) execution order."""
+    ordering at that point of the (topological) execution order; returns
+    the number of elided sorts."""
     memo: Dict[int, Optional[Lolepop]] = {}
     ordering_state: Dict[int, Tuple] = {}
+    count = 0
     for node in dag.topological_order():
         if not isinstance(node, SortOp):
             continue
@@ -83,5 +95,7 @@ def elide_redundant_sorts(dag: Dag) -> None:
                 if node in other.inputs:
                     other.after.extend(node.after)
             dag.replace(node, node.inputs[0])
+            count += 1
         else:
             ordering_state[id(root)] = required
+    return count

@@ -89,7 +89,13 @@ class PartitionOp(Lolepop):
                 ctx.spill_manager, ctx.config.memory_budget_bytes
             )
             ctx.next_phase()
-            ctx.parallel_for(
+            spilled = ctx.parallel_for(
                 "spill", [buffer], lambda b: b.spill_over_budget()
+            )
+            if self.stats is not None and spilled:
+                self.stats.extra["spilled_partitions"] = spilled[0]
+        if self.stats is not None:
+            self.stats.extra["scatter_keys"] = (
+                ",".join(self.keys) or "round-robin"
             )
         return buffer

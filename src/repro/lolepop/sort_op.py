@@ -124,6 +124,9 @@ class SortOp(Lolepop):
         buffer: TupleBuffer = inputs[0]
         required = tuple(self.keys)
         if ctx.config.elide_sorts and buffer.ordering_satisfies(required):
+            if self.stats is not None:
+                self.stats.sort_elisions += 1
+                self.stats.extra["elided"] = True
             return buffer
         key_names = [name for name, _ in self.keys]
         descending = [desc for _, desc in self.keys]
@@ -146,6 +149,10 @@ class SortOp(Lolepop):
             for p in buffer.partitions
             if p.num_rows > 1
         ]
+        if self.stats is not None:
+            self.stats.extra["mode"] = mode
+            self.stats.extra["presorted_prefix"] = prefix
+            self.stats.extra["sorted_partitions"] = len(tasks)
         ctx.parallel_for(
             "sort", tasks, PartitionSortTask.run, splittable=True
         )

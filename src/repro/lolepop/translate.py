@@ -79,6 +79,7 @@ def translate_statistics(
     cost-based decisions guarded by ``config.cost_based_distinct``."""
     translator = _Translator(source_executor, config, estimator)
     dag = translator.translate(plan)
+    dag.region_plan = plan
     optimizer.optimize(dag, config)
     return dag
 
@@ -116,7 +117,9 @@ class _Translator:
 
     # ------------------------------------------------------------------
     def _source_op(self, plan: LogicalPlan, label: str = "pipeline") -> Lolepop:
-        return self.dag.add(SourceOp(lambda: self.source(plan), label=label))
+        return self.dag.add(
+            SourceOp(lambda: self.source(plan), label=label, plan=plan)
+        )
 
     @staticmethod
     def _select_items(schema: Schema) -> List[Tuple[str, Expr]]:
@@ -174,6 +177,7 @@ class _Translator:
         if any(name not in mapping for name, _ in keys):
             return None
         window_sink = self._translate_window_chain(node)
+        self.dag.rewrites.append("buffer-reuse: order-by re-sorts window buffer")
         buffer_keys = [(mapping[name], desc) for name, desc in keys]
         limit_hint = (limit + offset) if limit is not None else None
         resort = self.dag.add(SortOp(window_sink, buffer_keys))
@@ -239,6 +243,10 @@ class _Translator:
                     PartitionOp(upstream, part_keys, num_partitions)
                 )
                 current_partition_keys = part_keys
+            else:
+                self.dag.rewrites.append(
+                    "buffer-reuse: window ordering group shares buffer"
+                )
             sort = self.dag.add(SortOp(current, sort_keys))
             if last_window is not None:
                 sort.run_after(last_window)
@@ -428,6 +436,9 @@ class _Translator:
             ):
                 still_hash.append(call)
                 continue
+            self.dag.rewrites.append(
+                f"cost_based_distinct: sort strategy for {call.name}"
+            )
             sort_keys = [(name, False) for name in group_names] + [(arg, False)]
             sort = self.dag.add(SortOp(chain_buffer, sort_keys))
             if chain_last is not None:
@@ -473,6 +484,10 @@ class _Translator:
         (for anti-dependency chaining by the caller)."""
         sort_specs: List[Tuple[Optional[Tuple[str, bool]], List[AggregateCall]]]
         sort_specs = list(orderings) if orderings else [(None, [])]
+        if len(sort_specs) > 1:
+            self.dag.rewrites.append(
+                f"buffer-reuse: {len(sort_specs)} ordered-set sorts share buffer"
+            )
         units: List[Lolepop] = []
         for index, (order_key, calls_here) in enumerate(sort_specs):
             sort_keys = [(name, False) for name in group_names]
@@ -616,6 +631,10 @@ class _Translator:
                         )
                     )
                     previous = None
+                else:
+                    self.dag.rewrites.append(
+                        "buffer-reuse: grouping set re-sorts shared buffer"
+                    )
                 buffer_op = shared_buffer
                 chain_units, previous = self._ordered_chain(
                     buffer_op, keys, orderings, plain, [], [], previous
@@ -728,6 +747,9 @@ class _AggInput:
     def materialize(self, group_names: List[str]) -> Lolepop:
         """A buffer usable for grouping by ``group_names``."""
         if self.buffer_usable_for(group_names):
+            self._translator.dag.rewrites.append(
+                "buffer-reuse: aggregate over window buffer"
+            )
             return self.buffer_op
         keys = tuple(group_names)
         num = self._translator.config.num_partitions if keys else 1

@@ -91,6 +91,10 @@ class WindowOp(Lolepop):
             "window", buffer.partitions, compute, splittable=True
         )
         buffer.add_columns(fields, per_partition)
+        if self.stats is not None:
+            self.stats.extra["window_calls"] = len(self.calls)
+            self.stats.buffer_reuse_hits += 1  # computed columns written
+            # into the shared buffer instead of a fresh materialization.
 
         if self.post_items:
             post_fields = [

@@ -1,0 +1,45 @@
+"""Engine-wide observability: metrics, per-operator stats, query profiles,
+EXPLAIN ANALYZE rendering, and Chrome trace export.
+
+The paper's argument (Figure 8, §6) is that decomposing aggregation into
+LOLEPOPs exposes *where time goes*; this package is the machinery that
+makes that visible at every layer:
+
+- :class:`MetricsRegistry` — process-wide counters / gauges / histograms
+  (``GLOBAL_METRICS`` aggregates across queries; the shell's ``.metrics``).
+- :class:`QueryProfile` — one query's operator stats, optimizer-rewrite
+  log, and counters; collected when ``EngineConfig(collect_metrics=True)``.
+- :class:`OperatorStats` — per-LOLEPOP-instance counters (rows, batches,
+  wall time, buffer bytes, spilling, elisions).
+- :func:`chrome_trace_events` — export an execution trace as Chrome
+  ``trace_event`` JSON loadable in ``chrome://tracing`` / Perfetto.
+- :func:`render_analyze` — the ``EXPLAIN ANALYZE`` DAG annotation (actual
+  rows vs. cardinality estimates, per-op time share, max Q-error).
+"""
+
+from .metrics import (
+    GLOBAL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    OperatorStats,
+    QueryProfile,
+)
+from .chrome import chrome_trace_events, validate_trace_events, write_chrome_trace
+from .analyze import estimate_dag_rows, render_analyze
+
+__all__ = [
+    "GLOBAL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OperatorStats",
+    "QueryProfile",
+    "chrome_trace_events",
+    "validate_trace_events",
+    "write_chrome_trace",
+    "estimate_dag_rows",
+    "render_analyze",
+]

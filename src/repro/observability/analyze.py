@@ -1,0 +1,203 @@
+"""EXPLAIN ANALYZE rendering: the executed LOLEPOP DAG annotated with
+actual vs. estimated cardinalities and per-operator time share.
+
+Estimates walk each DAG with simple propagation rules mirroring how the
+operators transform cardinality (the DAG-level analogue of
+:class:`~repro.logical.cardinality.CardinalityEstimator`'s plan rules):
+SOURCE nodes estimate their relational pipeline, HASHAGG/ORDAGG estimate
+group counts against the region's input plan, buffer movers (PARTITION /
+SORT / MERGE / WINDOW / SCAN) pass their input estimate through, COMBINE
+takes the max (join mode) or sum (union mode) of its inputs.
+
+The Q-error of a node is ``max(est/actual, actual/est)`` (both clamped to
+one row) — the standard estimate-quality measure; the summary line reports
+the worst node, which is where the optimizer's model is most wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..logical import Aggregate, Limit, LogicalPlan, Sort, Window
+from ..lolepop.base import Dag, SourceOp
+from ..lolepop.combine_op import CombineOp
+from ..lolepop.hashagg_op import HashAggOp
+from ..lolepop.merge_op import MergeOp
+from ..lolepop.ordagg_op import OrdAggOp
+from ..lolepop.partition_op import PartitionOp
+from ..lolepop.scan_op import ScanOp
+from ..lolepop.sort_op import SortOp
+from ..lolepop.window_op import WindowOp
+
+
+def _region_input_plan(plan: Optional[LogicalPlan]) -> Optional[LogicalPlan]:
+    """The logical plan feeding a statistics region's compute operators."""
+    node = plan
+    while isinstance(node, Limit):
+        node = node.child
+    if isinstance(node, (Aggregate, Window, Sort)):
+        return node.child
+    return node
+
+
+def estimate_dag_rows(dag: Dag, estimator) -> Dict[int, Optional[float]]:
+    """Estimated output rows per DAG node, keyed by ``id(node)``.
+
+    ``estimator`` is a
+    :class:`~repro.logical.cardinality.CardinalityEstimator`; nodes whose
+    estimate cannot be derived map to ``None``.
+    """
+    context = _region_input_plan(getattr(dag, "region_plan", None))
+    estimates: Dict[int, Optional[float]] = {}
+    for node in dag.topological_order():
+        estimates[id(node)] = _estimate_node(node, context, estimator, estimates)
+    return estimates
+
+
+def _estimate_node(node, context, estimator, estimates) -> Optional[float]:
+    def input_estimate() -> Optional[float]:
+        if not node.inputs:
+            return None
+        return estimates.get(id(node.inputs[0]))
+
+    try:
+        if isinstance(node, SourceOp):
+            plan = getattr(node, "plan", None)
+            return estimator.rows(plan) if plan is not None else None
+        if isinstance(node, HashAggOp):
+            if context is None:
+                return None
+            return estimator.group_count(context, node.key_names)
+        if isinstance(node, OrdAggOp):
+            if context is None:
+                return None
+            return estimator.group_count(context, node.key_names)
+        if isinstance(node, CombineOp):
+            inputs = [estimates.get(id(i)) for i in node.inputs]
+            known = [e for e in inputs if e is not None]
+            if not known:
+                return None
+            return sum(known) if node.mode == "union" else max(known)
+        if isinstance(node, ScanOp):
+            estimate = input_estimate()
+            if estimate is not None and node.limit is not None:
+                estimate = float(min(estimate, node.limit))
+            return estimate
+        if isinstance(node, (PartitionOp, SortOp, MergeOp, WindowOp)):
+            return input_estimate()
+    except Exception:
+        return None
+    return input_estimate()
+
+
+def q_error(estimate: Optional[float], actual: int) -> Optional[float]:
+    """max(est/actual, actual/est), both sides clamped to >= 1 row."""
+    if estimate is None:
+        return None
+    est = max(1.0, float(estimate))
+    act = max(1.0, float(actual))
+    return max(est / act, act / est)
+
+
+def _format_bytes(num: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(num) < 1024.0 or unit == "GB":
+            return f"{num:.0f}{unit}" if unit == "B" else f"{num:.1f}{unit}"
+        num /= 1024.0
+    return f"{num:.1f}GB"
+
+
+def render_analyze(result, catalog, config) -> str:
+    """Render ``EXPLAIN ANALYZE`` output for an executed query.
+
+    ``result`` is a :class:`~repro.lolepop.engine.QueryResult` produced with
+    ``collect_metrics=True`` (so every DAG node carries
+    :class:`~repro.observability.metrics.OperatorStats`).
+    """
+    from ..logical.cardinality import CardinalityEstimator
+    from ..stats import StatisticsCache
+
+    profile = result.profile
+    if profile is None:
+        raise ValueError("EXPLAIN ANALYZE requires a collected profile")
+    estimator = CardinalityEstimator(StatisticsCache(catalog))
+    kind = "measured" if config.execution_mode == "parallel" else "simulated"
+    lines: List[str] = [
+        f"EXPLAIN ANALYZE (lolepop, {config.num_threads} threads, "
+        f"{config.execution_mode} mode)"
+    ]
+    total_time = profile.total_operator_time() or 1.0
+    worst: Optional[tuple] = None  # (q, label)
+    for dag_index, dag in enumerate(profile.dags):
+        estimates = estimate_dag_rows(dag, estimator)
+        order = dag.topological_order()
+        ids = {id(node): i for i, node in enumerate(order)}
+        if len(profile.dags) > 1:
+            lines.append(f"-- region {dag_index} --")
+        for node in order:
+            stats = getattr(node, "stats", None)
+            estimate = estimates.get(id(node))
+            deps = ",".join(f"#{ids[id(i)]}" for i in node.inputs)
+            describe = f" [{node.describe()}]" if node.describe() else ""
+            head = f"#{ids[id(node)]} {node.name()}{describe}"
+            if deps:
+                head += f" <- {deps}"
+            if stats is None:
+                lines.append(head + "  (not executed)")
+                continue
+            parts = [f"rows={stats.rows_out}"]
+            parts.append(
+                "est=?" if estimate is None else f"est={estimate:.0f}"
+            )
+            node_q = q_error(estimate, stats.rows_out)
+            if node_q is not None:
+                parts.append(f"q={node_q:.2f}")
+                label = f"#{ids[id(node)]} {node.name()}"
+                if len(profile.dags) > 1:
+                    label = f"region {dag_index} {label}"
+                if worst is None or node_q > worst[0]:
+                    worst = (node_q, label)
+            parts.append(f"time={stats.wall_time / total_time * 100:.1f}%")
+            parts.append(f"work={stats.wall_time * 1000:.2f}ms")
+            if stats.peak_buffer_bytes:
+                parts.append(f"buf={_format_bytes(stats.peak_buffer_bytes)}")
+            if stats.buffer_reuse_hits:
+                parts.append(f"reuse={stats.buffer_reuse_hits}")
+            if stats.sort_elisions:
+                parts.append(f"elided={stats.sort_elisions}")
+            if stats.spill_bytes_written or stats.spill_bytes_read:
+                parts.append(
+                    f"spillW={_format_bytes(stats.spill_bytes_written)}"
+                    f" spillR={_format_bytes(stats.spill_bytes_read)}"
+                )
+            for key, value in sorted(stats.extra.items()):
+                parts.append(f"{key}={value}")
+            lines.append(head + "  " + " ".join(parts))
+
+    if worst is not None:
+        lines.append(f"max Q-error: {worst[0]:.2f} at {worst[1]}")
+    else:
+        lines.append("max Q-error: n/a (no estimates)")
+
+    reuse_total = sum(
+        1 for entry in profile.rewrites if entry.startswith("buffer-reuse")
+    )
+    elide_total = sum(
+        stats.sort_elisions for *_rest, stats in profile.operator_stats()
+    )
+    spill_w = profile.counters.get("spill.bytes_written", 0)
+    spill_r = profile.counters.get("spill.bytes_read", 0)
+    lines.append(
+        f"buffer-reuse: {reuse_total}  sort-elisions: {elide_total}  "
+        f"spill: {_format_bytes(spill_w)} written / {_format_bytes(spill_r)} read"
+    )
+    if profile.rewrites:
+        lines.append("rewrites: " + "; ".join(profile.rewrites))
+    for name in sorted(profile.counters):
+        if not name.startswith("spill."):
+            lines.append(f"counter {name}: {profile.counters[name]:g}")
+    lines.append(
+        f"total work {result.serial_time * 1000:.2f} ms, "
+        f"{kind} makespan {result.simulated_time * 1000:.2f} ms"
+    )
+    return "\n".join(lines)

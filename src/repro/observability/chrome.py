@@ -1,0 +1,81 @@
+"""Chrome ``trace_event`` export of execution traces.
+
+Emits the JSON array format understood by ``chrome://tracing`` and
+Perfetto: complete ("X") events with microsecond timestamps. Work items
+(one per morsel, per worker thread) keep their worker's ``tid``; region
+spans (one per ``run_region`` barrier, covering the whole pipeline) are
+emitted on a dedicated lane (``pid`` :data:`REGION_PID`) so the two levels
+render as separate tracks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+#: pid of per-morsel work-item events.
+WORKER_PID = 0
+#: pid of region (pipeline barrier) span events.
+REGION_PID = 1
+
+_REQUIRED_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+def chrome_trace_events(trace) -> List[dict]:
+    """An :class:`~repro.execution.trace.ExecutionTrace` as a list of Chrome
+    ``trace_event`` dicts (times converted from seconds to microseconds)."""
+    events: List[dict] = []
+    for record in trace.records:
+        events.append(
+            {
+                "name": record.operator,
+                "ph": "X",
+                "ts": record.start * 1e6,
+                "dur": (record.end - record.start) * 1e6,
+                "pid": WORKER_PID,
+                "tid": record.thread,
+                "args": {"phase": record.phase},
+            }
+        )
+    for span in getattr(trace, "regions", ()):
+        events.append(
+            {
+                "name": f"region:{span.operator}",
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": (span.end - span.start) * 1e6,
+                "pid": REGION_PID,
+                "tid": 0,
+                "args": {"phase": span.phase, "items": span.items},
+            }
+        )
+    return events
+
+
+def validate_trace_events(events) -> None:
+    """Raise ``ValueError`` unless ``events`` is a list of well-formed
+    ``trace_event`` objects (the schema the acceptance tests check)."""
+    if not isinstance(events, list):
+        raise ValueError("trace must be a JSON array of event objects")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {index} is not an object")
+        for key in _REQUIRED_KEYS:
+            if key not in event:
+                raise ValueError(f"event {index} is missing {key!r}")
+        if event["ph"] != "X":
+            raise ValueError(f"event {index}: only complete events expected")
+        if not isinstance(event["ts"], (int, float)) or not isinstance(
+            event["dur"], (int, float)
+        ):
+            raise ValueError(f"event {index}: ts/dur must be numbers")
+
+
+def write_chrome_trace(path: str, trace, query: Optional[str] = None) -> int:
+    """Serialize ``trace`` to ``path`` as a Chrome trace JSON array;
+    returns the number of events written."""
+    events = chrome_trace_events(trace)
+    validate_trace_events(events)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(events, handle, indent=1)
+    return len(events)

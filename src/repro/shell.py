@@ -12,8 +12,12 @@ commands:
     .mode [simulated|parallel] show or switch the execution mode
     .explain <sql>             show the logical plan
     .lolepop <sql>             show the LOLEPOP DAG
+    .analyze <sql>             EXPLAIN ANALYZE: run and annotate the DAG
     .trace <sql>               run with trace collection and render it
+    .trace json <path> <sql>   export the trace as Chrome trace_event JSON
     .profile <sql>             per-operator work breakdown
+    .profile json <path> <sql> write the full query profile as JSON
+    .metrics                   process-wide metrics snapshot
     .timing on|off             toggle per-query timing output
     .quit                      exit
 
@@ -112,10 +116,18 @@ class Shell:
             self._guarded(lambda: self.write(self.db.explain(argument)))
         elif command == ".lolepop":
             self._guarded(lambda: self.write(self.db.explain_lolepop(argument)))
+        elif command == ".analyze":
+            self._guarded(
+                lambda: self.write(
+                    self.db.explain_analyze(argument, config=self._config())
+                )
+            )
         elif command == ".trace":
             self._trace(argument)
         elif command == ".profile":
             self._profile(argument)
+        elif command == ".metrics":
+            self._metrics()
         else:
             self.write(f"unknown command: {command} (try .help)")
         return True
@@ -134,12 +146,24 @@ class Shell:
             f"({self.db.table('lineitem').num_rows} lineitem rows)"
         )
 
-    def _config(self, collect_trace: bool = False) -> EngineConfig:
+    def _config(
+        self, collect_trace: bool = False, collect_metrics: bool = False
+    ) -> EngineConfig:
         return EngineConfig(
             num_threads=self.threads,
             collect_trace=collect_trace,
+            collect_metrics=collect_metrics,
             execution_mode=self.mode,
         )
+
+    @staticmethod
+    def _split_json_target(argument: str):
+        """Parse ``json <path> <sql>`` subcommand syntax; returns
+        ``(path, sql)`` or ``(None, argument)``."""
+        parts = argument.split(None, 2)
+        if len(parts) == 3 and parts[0].lower() == "json":
+            return parts[1], parts[2]
+        return None, argument
 
     def _guarded(self, action) -> None:
         try:
@@ -166,13 +190,31 @@ class Shell:
                 f"{result.simulated_time * 1000:.2f} ms [{self.engine}]"
             )
 
-    def _profile(self, sql: str) -> None:
+    def _profile(self, argument: str) -> None:
+        path, sql = self._split_json_target(argument)
         try:
             result = self.db.sql(
-                sql, engine=self.engine, config=self._config(collect_trace=True)
+                sql,
+                engine=self.engine,
+                config=self._config(collect_trace=True, collect_metrics=True),
             )
         except ReproError as error:
             self.write(f"error: {error}")
+            return
+        if path is not None:
+            if result.profile is None:
+                self.write(
+                    "error: .profile json requires the lolepop engine "
+                    f"(current: {self.engine})"
+                )
+                return
+            import json
+
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    result.profile.to_dict(trace=result.trace), handle, indent=1
+                )
+            self.write(f"profile written to {path}")
             return
         for operator, (work, count) in sorted(
             result.operator_summary().items(), key=lambda kv: -kv[1][0]
@@ -180,8 +222,20 @@ class Shell:
             self.write(
                 f"  {operator:<16} {work * 1000:10.3f} ms  ({count} work items)"
             )
+        if result.profile is not None:
+            for _, node_index, name, describe, stats in (
+                result.profile.operator_stats()
+            ):
+                detail = f" [{describe}]" if describe else ""
+                self.write(
+                    f"  #{node_index} {name}{detail}: rows_out={stats.rows_out} "
+                    f"wall={stats.wall_time * 1000:.3f} ms"
+                )
+            for entry in result.profile.rewrites:
+                self.write(f"  rewrite: {entry}")
 
-    def _trace(self, sql: str) -> None:
+    def _trace(self, argument: str) -> None:
+        path, sql = self._split_json_target(argument)
         try:
             result = self.db.sql(
                 sql, engine=self.engine, config=self._config(collect_trace=True)
@@ -189,7 +243,32 @@ class Shell:
         except ReproError as error:
             self.write(f"error: {error}")
             return
+        if path is not None:
+            from .observability import write_chrome_trace
+
+            count = write_chrome_trace(path, result.trace)
+            self.write(f"{count} trace events written to {path}")
+            return
         self.write(result.trace.render(width=100))
+        self.write(
+            f"  {len(result.trace.records)} work items in "
+            f"{len(result.trace.regions)} regions"
+        )
+
+    def _metrics(self) -> None:
+        from .observability import GLOBAL_METRICS
+
+        snapshot = GLOBAL_METRICS.snapshot()
+        if not snapshot:
+            self.write("(no metrics recorded yet)")
+            return
+        for name, value in snapshot.items():
+            if isinstance(value, dict):
+                self.write(
+                    f"  {name}: n={value['total']} mean={value['mean']:.6f}s"
+                )
+            else:
+                self.write(f"  {name}: {value:g}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

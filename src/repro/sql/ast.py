@@ -314,3 +314,19 @@ class SelectStmt:
         self.ctes = list(ctes)
         self.union_all = union_all
         self.distinct = distinct
+
+
+class ExplainStmt:
+    """``EXPLAIN [ANALYZE | LOLEPOP] <select>``.
+
+    ``mode`` is ``"plan"`` (logical plan), ``"lolepop"`` (translated DAG),
+    or ``"analyze"`` (execute and annotate the DAG with actuals).
+    """
+
+    __slots__ = ("select", "mode")
+
+    def __init__(self, select: SelectStmt, mode: str = "plan"):
+        if mode not in ("plan", "lolepop", "analyze"):
+            raise ValueError(f"unknown EXPLAIN mode {mode!r}")
+        self.select = select
+        self.mode = mode

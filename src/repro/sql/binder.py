@@ -70,8 +70,13 @@ from ..types import DataType, date_to_days, parse_type
 from . import ast as sql_ast
 
 
-def bind(stmt: sql_ast.SelectStmt, catalog: Catalog) -> LogicalPlan:
-    """Bind a parsed statement against ``catalog`` and return a plan."""
+def bind(stmt, catalog: Catalog) -> LogicalPlan:
+    """Bind a parsed statement against ``catalog`` and return a plan.
+
+    An :class:`~repro.sql.ast.ExplainStmt` binds its inner SELECT — the
+    EXPLAIN mode is handled by the API layer, not the plan."""
+    if isinstance(stmt, sql_ast.ExplainStmt):
+        stmt = stmt.select
     return _Binder(catalog).bind_statement(stmt)
 
 

@@ -21,7 +21,7 @@ KEYWORDS = {
     "anti", "on", "with", "grouping", "sets", "rollup", "cube", "over",
     "partition", "rows", "range", "unbounded", "preceding", "following",
     "current", "row", "within", "true", "false", "asc", "desc", "nulls",
-    "first", "last", "exists", "date", "filter",
+    "first", "last", "exists", "date", "filter", "explain", "analyze",
 }
 
 

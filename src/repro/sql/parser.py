@@ -12,6 +12,7 @@ from typing import List, Optional, Tuple
 from ..errors import ParseError
 from .ast import (
     DerivedTable,
+    ExplainStmt,
     FrameDef,
     GroupByClause,
     JoinedTable,
@@ -39,8 +40,10 @@ from .ast import (
 from .lexer import Token, TokenType, tokenize
 
 
-def parse_sql(text: str) -> SelectStmt:
-    """Parse one SELECT statement (trailing semicolon allowed)."""
+def parse_sql(text: str):
+    """Parse one statement (trailing semicolon allowed): a SELECT, or
+    ``EXPLAIN [ANALYZE | LOLEPOP] <select>`` yielding an
+    :class:`~repro.sql.ast.ExplainStmt`."""
     return _Parser(tokenize(text)).parse_statement()
 
 
@@ -109,8 +112,20 @@ class _Parser:
     # ------------------------------------------------------------------
     # Statements
     # ------------------------------------------------------------------
-    def parse_statement(self) -> SelectStmt:
-        stmt = self._parse_select()
+    def parse_statement(self):
+        if self._accept_keyword("explain"):
+            mode = "plan"
+            if self._accept_keyword("analyze"):
+                mode = "analyze"
+            elif (
+                self._peek().type is TokenType.IDENT
+                and self._peek().value == "lolepop"
+            ):
+                self._advance()
+                mode = "lolepop"
+            stmt = ExplainStmt(self._parse_select(), mode)
+        else:
+            stmt = self._parse_select()
         if self._peek().type is not TokenType.EOF:
             raise self._error("unexpected trailing input")
         return stmt

@@ -322,6 +322,19 @@ class TupleBuffer:
     def num_rows(self) -> int:
         return sum(p.num_rows for p in self.partitions)
 
+    def stats(self) -> dict:
+        """Observability snapshot: shape, footprint, and spill state."""
+        return {
+            "rows": self.num_rows,
+            "partitions": self.num_partitions,
+            "approx_bytes": self.approx_bytes(),
+            "spilled_partitions": sum(
+                1 for p in self.partitions if p.is_spilled
+            ),
+            "partitioned_by": list(self.partitioned_by),
+            "ordered_by": [list(key) for key in self.ordered_by],
+        }
+
     # ------------------------------------------------------------------
     # Build paths
     # ------------------------------------------------------------------

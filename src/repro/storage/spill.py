@@ -54,6 +54,9 @@ class SpillManager:
         #: Total bytes currently on disk (approximate, for introspection).
         self.spilled_bytes = 0
         self.spill_events = 0
+        #: Total bytes read back from disk (approximate) and load count.
+        self.loaded_bytes = 0
+        self.load_events = 0
 
     def next_path(self) -> str:
         with self._lock:
@@ -88,7 +91,11 @@ class SpillManager:
                 mask_key = f"m{index}"
                 valid = payload[mask_key] if mask_key in payload else None
                 columns.append(Column(field.dtype, values, valid))
-        return Batch(schema, columns)
+        batch = Batch(schema, columns)
+        with self._lock:
+            self.loaded_bytes += approx_batch_bytes(batch)
+            self.load_events += 1
+        return batch
 
     def release(self, path: str) -> None:
         with self._lock:

@@ -97,6 +97,78 @@ class TestShell:
         sh.execute_line(".trace SELECT a, count(*) FROM t GROUP BY a")
         assert "makespan" in out.getvalue()
 
+    def test_analyze(self, shell):
+        sh, out = shell
+        sh.db.create_table("t", {"a": "int64", "b": "float64"})
+        sh.db.insert("t", {"a": [1, 1, 2, 3] * 25, "b": [0.5] * 100})
+        sh.execute_line(".analyze SELECT a, sum(b) FROM t GROUP BY a")
+        text = out.getvalue()
+        assert "EXPLAIN ANALYZE" in text
+        assert "rows=" in text and "est=" in text and "max Q-error" in text
+
+    def test_profile(self, shell):
+        sh, out = shell
+        sh.db.create_table("t", {"a": "int64"})
+        sh.db.insert("t", {"a": list(range(200))})
+        sh.execute_line(".profile SELECT a, count(*) FROM t GROUP BY a")
+        text = out.getvalue()
+        assert "work items" in text
+        assert "HASHAGG" in text and "rows_out=" in text
+
+    def test_profile_json(self, shell, tmp_path):
+        sh, out = shell
+        sh.db.create_table("t", {"a": "int64"})
+        sh.db.insert("t", {"a": list(range(50))})
+        path = tmp_path / "profile.json"
+        sh.execute_line(f".profile json {path} SELECT a, count(*) FROM t GROUP BY a")
+        assert f"profile written to {path}" in out.getvalue()
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["dags"][0]["operators"]
+        assert payload["trace_events"]
+
+    def test_trace_json(self, shell, tmp_path):
+        sh, out = shell
+        sh.db.create_table("t", {"a": "int64"})
+        sh.db.insert("t", {"a": list(range(50))})
+        path = tmp_path / "trace.json"
+        sh.execute_line(f".trace json {path} SELECT a, count(*) FROM t GROUP BY a")
+        assert "trace events written to" in out.getvalue()
+        import json
+
+        from repro.observability import validate_trace_events
+
+        validate_trace_events(json.loads(path.read_text()))
+
+    def test_trace_and_profile_parallel_mode(self, shell):
+        sh, out = shell
+        sh.db.create_table("t", {"a": "int64", "b": "float64"})
+        sh.db.insert(
+            "t", {"a": [i % 7 for i in range(500)], "b": [0.25] * 500}
+        )
+        sh.execute_line(".mode parallel")
+        sh.execute_line(".threads 2")
+        out.truncate(0), out.seek(0)
+        sh.execute_line(".trace SELECT a, sum(b) FROM t GROUP BY a")
+        text = out.getvalue()
+        assert "makespan" in text and "regions" in text
+        out.truncate(0), out.seek(0)
+        sh.execute_line(".profile SELECT a, median(b) FROM t GROUP BY a")
+        text = out.getvalue()
+        assert "work items" in text and "rows_out=" in text
+
+    def test_metrics(self, shell):
+        sh, out = shell
+        sh.db.create_table("t", {"a": "int64"})
+        sh.db.insert("t", {"a": [1, 2, 3]})
+        sh.execute_line("SELECT count(*) FROM t")
+        out.truncate(0), out.seek(0)
+        sh.execute_line(".metrics")
+        text = out.getvalue()
+        assert "queries.total" in text
+        assert "queries.makespan_seconds" in text
+
     def test_sql_error_reported(self, shell):
         sh, out = shell
         sh.execute_line("SELECT nope FROM nowhere")
