@@ -51,7 +51,7 @@ def test_figure7(benchmark, tpch, report, profile_dir, qid, variant, engine):
         )
         safe_variant = variant.replace("+", "plus_").replace(".", "")
         write_profile(
-            profile_dir, f"figure7_{qid}_{safe_variant}", profiled
+            profile_dir, f"figure7_{qid}_{safe_variant}", profiled, db=tpch
         )
     report.add(
         f"FIGURE 7 — TPC-H {qid} ± extra aggregates ({MANY_THREADS} threads, simulated)",

@@ -1,0 +1,247 @@
+"""Load generator for the query service.
+
+Spawns N client threads against one :class:`repro.server.QueryService`,
+each looping over a fixed query mix (TPC-H + small aggregates), and reports
+throughput plus p50/p95/p99 latency per client count. Every result is
+verified against a reference computed with direct ``Database.sql`` before
+the service starts, so the run doubles as a concurrency correctness check:
+a single mismatch fails the process.
+
+The run is bounded: clients stop at the deadline and the main thread joins
+them with a watchdog timeout — if any client fails to come back the script
+reports a deadlock and exits 2 (what the CI smoke job asserts never
+happens).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_server_throughput.py \
+        --clients 1 4 8 --duration 5 --sf 0.01 --report report.json
+
+    --no-plan-cache / --no-result-cache   ablate the caches
+    --threads N                           per-query thread count (simulated)
+
+Exit status: 0 ok, 1 incorrect results or client errors, 2 deadlock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+
+import numpy as np
+
+from repro import Database, QueryService, ServiceConfig
+from repro.tpch import TPCH_QUERIES, populate_database
+
+#: Deterministic mixed workload: point-ish aggregates, heavy ordered-set
+#: statistics, and TPC-H joins. Weighted towards repeats so the plan cache
+#: has something to win on.
+def build_workload():
+    mix = [
+        "SELECT count(*) FROM lineitem",
+        "SELECT l_returnflag, l_linestatus, sum(l_quantity), avg(l_extendedprice) "
+        "FROM lineitem GROUP BY l_returnflag, l_linestatus",
+        "SELECT l_returnflag, median(l_extendedprice) FROM lineitem "
+        "GROUP BY l_returnflag",
+        "SELECT o_orderpriority, count(*) FROM orders GROUP BY o_orderpriority",
+        TPCH_QUERIES["q1"],
+        TPCH_QUERIES["q6"],
+    ]
+    return mix
+
+
+def percentile(values, q):
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values), q))
+
+
+
+
+class Client(threading.Thread):
+    def __init__(self, index, service, workload, references, deadline, args):
+        super().__init__(name=f"client-{index}", daemon=True)
+        self.index = index
+        self.session = service.session(
+            num_threads=args.threads, morsel_size=args.morsel
+        )
+        self.workload = workload
+        self.references = references
+        self.deadline = deadline
+        self.latencies = []
+        self.completed = 0
+        self.incorrect = 0
+        self.errors = []
+        self.rng = np.random.default_rng(1000 + index)
+
+    def run(self):
+        while time.monotonic() < self.deadline:
+            sql = self.workload[int(self.rng.integers(len(self.workload)))]
+            start = time.monotonic()
+            try:
+                result = self.session.execute(sql, timeout=120.0)
+            except Exception as error:  # noqa: BLE001 — reported below
+                self.errors.append(f"{type(error).__name__}: {error}")
+                continue
+            self.latencies.append(time.monotonic() - start)
+            self.completed += 1
+            if result.rows() != self.references[sql]:
+                self.incorrect += 1
+
+
+def run_load(db, args, clients):
+    workload = build_workload()
+    # Direct-execution reference answers (before the service runs), computed
+    # with the exact engine config the client sessions use — simulated-mode
+    # execution is deterministic at a fixed config, so every service result
+    # must be *byte-identical* to its reference (float summation order and
+    # row order both depend on thread count / morsel size, hence the match).
+    ref_config = db.config.clone(
+        num_threads=args.threads, morsel_size=args.morsel
+    )
+    references = {
+        sql: db.sql(sql, config=ref_config).rows() for sql in workload
+    }
+
+    service = QueryService(
+        db,
+        ServiceConfig(
+            max_concurrent=args.max_concurrent,
+            max_queue=max(64, clients * 8),
+            result_cache_size=0 if args.no_result_cache else 64,
+        ),
+    )
+    deadline = time.monotonic() + args.duration
+    threads = [
+        Client(i, service, workload, references, deadline, args)
+        for i in range(clients)
+    ]
+    wall_start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    # Watchdog join: a stuck client means a service deadlock.
+    grace = args.duration + 120.0
+    for thread in threads:
+        thread.join(max(0.0, wall_start + grace - time.monotonic()))
+    deadlocked = [t.name for t in threads if t.is_alive()]
+    wall = time.monotonic() - wall_start
+    service.shutdown(wait=not deadlocked, cancel_running=bool(deadlocked))
+
+    latencies = [lat for t in threads for lat in t.latencies]
+    completed = sum(t.completed for t in threads)
+    incorrect = sum(t.incorrect for t in threads)
+    errors = [e for t in threads for e in t.errors]
+    stats = service.stats()
+    row = {
+        "clients": clients,
+        "duration_s": round(wall, 3),
+        "completed": completed,
+        "incorrect": incorrect,
+        "errors": errors[:10],
+        "error_count": len(errors),
+        "deadlocked_clients": deadlocked,
+        "throughput_qps": round(completed / wall, 2) if wall else 0.0,
+        "latency_ms": {
+            "p50": round(percentile(latencies, 50) * 1000, 3),
+            "p95": round(percentile(latencies, 95) * 1000, 3),
+            "p99": round(percentile(latencies, 99) * 1000, 3),
+            "mean": round(
+                float(np.mean(latencies)) * 1000 if latencies else 0.0, 3
+            ),
+        },
+        "plan_cache": stats.get("plan_cache"),
+        "result_cache": stats.get("result_cache"),
+    }
+    return row
+
+
+def repeated_statement_benchmark(args):
+    """Cold-vs-warm latency of one repeated statement: the plan-cache win.
+
+    Uses a join-heavy TPC-H statement on a deliberately small instance so
+    parse/bind/translate is a visible fraction of end-to-end latency —
+    that front-end work is exactly what a plan-cache hit skips."""
+    sql = TPCH_QUERIES["q7"]
+    sf = min(args.sf, 0.002)
+    out = {}
+    for label, cache_size in (("cache_on", 256), ("cache_off", 0)):
+        db = Database(plan_cache_size=cache_size)
+        populate_database(db, scale_factor=sf, seed=42)
+        times = []
+        for _ in range(args.repeats):
+            start = time.monotonic()
+            db.sql(sql)
+            times.append((time.monotonic() - start) * 1000)
+        out[label] = {
+            "first_ms": round(times[0], 3),
+            "warm_p50_ms": round(percentile(times[1:], 50), 3),
+            "warm_mean_ms": round(float(np.mean(times[1:])), 3),
+        }
+        if db.plan_cache is not None:
+            out[label]["plan_cache"] = db.plan_cache.stats()
+    return out
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--clients", type=int, nargs="+", default=[1, 4, 8])
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--sf", type=float, default=0.01)
+    parser.add_argument("--max-concurrent", type=int, default=4)
+    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--morsel", type=int, default=16384)
+    parser.add_argument("--repeats", type=int, default=20,
+                        help="iterations of the repeated-statement benchmark")
+    parser.add_argument("--report", default=None, help="write JSON here")
+    parser.add_argument("--no-plan-cache", action="store_true")
+    parser.add_argument("--no-result-cache", action="store_true")
+    parser.add_argument("--skip-repeat-bench", action="store_true")
+    args = parser.parse_args(argv)
+
+    db = Database(plan_cache_size=0 if args.no_plan_cache else 256)
+    print(f"loading TPC-H SF {args.sf} ...", flush=True)
+    populate_database(db, scale_factor=args.sf, seed=42)
+
+    runs = []
+    failed = deadlocked = False
+    for clients in args.clients:
+        print(f"running {clients} client(s) for {args.duration}s ...", flush=True)
+        row = run_load(db, args, clients)
+        runs.append(row)
+        lat = row["latency_ms"]
+        print(
+            f"  clients={clients:<3} qps={row['throughput_qps']:<8} "
+            f"p50={lat['p50']}ms p95={lat['p95']}ms p99={lat['p99']}ms "
+            f"completed={row['completed']} incorrect={row['incorrect']} "
+            f"errors={row['error_count']}"
+        )
+        if row["incorrect"] or row["error_count"]:
+            failed = True
+        if row["deadlocked_clients"]:
+            deadlocked = True
+            print(f"  DEADLOCK: {row['deadlocked_clients']}")
+
+    report = {"config": vars(args), "runs": runs}
+    if not args.skip_repeat_bench:
+        print("repeated-statement benchmark (plan cache on vs off) ...")
+        report["repeated_statement"] = repeated_statement_benchmark(args)
+        for label, numbers in report["repeated_statement"].items():
+            print(
+                f"  {label}: first={numbers['first_ms']}ms "
+                f"warm_p50={numbers['warm_p50_ms']}ms"
+            )
+
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=1)
+        print(f"report written to {args.report}")
+
+    if deadlocked:
+        return 2
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,16 +46,19 @@ def profile_dir(request):
     return path
 
 
-def write_profile(directory, name, result):
+def write_profile(directory, name, result, db=None):
     """Serialize one profiled QueryResult as ``<directory>/<name>.json``;
-    no-op (returns None) without a directory or profile."""
+    no-op (returns None) without a directory or profile. When ``db`` is
+    given, the database's plan-cache statistics (hit rate across the
+    benchmark's repeat loops) are embedded under ``"plan_cache"``."""
     if not directory or getattr(result, "profile", None) is None:
         return None
+    payload = result.profile.to_dict(trace=result.trace)
+    if db is not None and getattr(db, "plan_cache", None) is not None:
+        payload["plan_cache"] = db.plan_cache.stats()
     path = os.path.join(directory, f"{name}.json")
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(
-            result.profile.to_dict(trace=result.trace), handle, indent=1
-        )
+        json.dump(payload, handle, indent=1)
     return path
 
 

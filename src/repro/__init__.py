@@ -18,19 +18,27 @@ Quickstart::
 """
 
 from .api import Database
+from .execution.cancellation import CancellationToken
 from .execution.context import EngineConfig
 from .execution.trace import ExecutionTrace
 from .lolepop.engine import LolepopEngine, QueryResult
 from .baseline import ColumnarEngine, MonolithicEngine, NaiveRowEngine
-from .errors import ReproError
+from .errors import AdmissionError, QueryCancelled, ReproError
+from .server import QueryService, ServiceConfig, Session
 from .types import DataType, Field, Schema
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionError",
+    "CancellationToken",
     "Database",
     "EngineConfig",
     "ExecutionTrace",
+    "QueryCancelled",
+    "QueryService",
+    "ServiceConfig",
+    "Session",
     "QueryResult",
     "LolepopEngine",
     "MonolithicEngine",

@@ -35,6 +35,11 @@ _ENGINES = {
 }
 
 
+def _looks_like_explain(query: str) -> bool:
+    """Cheap pre-parse test used to route EXPLAIN around the plan cache."""
+    return query.lstrip()[:7].lower() == "explain"
+
+
 class Database:
     """A catalog plus query entry points for all four engines."""
 
@@ -43,10 +48,19 @@ class Database:
         num_threads: int = 1,
         config: Optional[EngineConfig] = None,
         execution_mode: str = "simulated",
+        plan_cache_size: int = 256,
     ):
         self.catalog = Catalog()
         self.config = config or EngineConfig(
             num_threads=num_threads, execution_mode=execution_mode
+        )
+        #: LRU of prepared (parsed + bound + translated-template) plans,
+        #: keyed on normalized SQL + catalog version; ``plan_cache_size=0``
+        #: disables caching entirely (every call re-parses).
+        from .server.cache import PlanCache
+
+        self.plan_cache = (
+            PlanCache(plan_cache_size) if plan_cache_size else None
         )
 
     # ------------------------------------------------------------------
@@ -109,6 +123,42 @@ class Database:
         """Parse and bind ``query``, returning the logical plan."""
         return bind(parse_sql(query), self.catalog)
 
+    def prepare(self, query: str):
+        """Parse and bind ``query`` once, returning a
+        :class:`~repro.server.cache.PreparedPlan` that repeated executions
+        (via the plan cache or an explicit ``db.sql(prepared.sql)``) reuse.
+        EXPLAIN statements are never cached (they are diagnostics)."""
+        prepared, _ = self._prepare_cached(query)
+        return prepared
+
+    def _prepare_cached(self, query: str):
+        """(prepared plan, was a plan-cache hit). Parse/bind run only on a
+        miss; a hit also carries translated DAG templates the engine clones
+        instead of re-translating."""
+        if self.plan_cache is None or _looks_like_explain(query):
+            return self._build_prepared(query), False
+        return self.plan_cache.lookup(
+            query, self.catalog, lambda: self._build_prepared(query)
+        )
+
+    def _build_prepared(self, query: str):
+        from .server.cache import PreparedPlan
+        from .sql.ast import ExplainStmt, SelectStmt
+
+        stmt = parse_sql(query)
+        if isinstance(stmt, ExplainStmt):
+            return PreparedPlan(
+                query, stmt, None, self.catalog.version, cacheable=False
+            )
+        plan = bind(stmt, self.catalog)
+        return PreparedPlan(
+            query,
+            stmt,
+            plan,
+            self.catalog.version,
+            cacheable=isinstance(stmt, SelectStmt),
+        )
+
     def sql(
         self,
         query: str,
@@ -122,20 +172,41 @@ class Database:
         ``EXPLAIN LOLEPOP <select>`` returns the LOLEPOP DAG;
         ``EXPLAIN ANALYZE <select>`` executes the query and returns the DAG
         annotated with actual rows, estimates, and per-operator time."""
+        prepared, cache_hit = self._prepare_cached(query)
+        return self.execute_prepared(
+            prepared, engine=engine, config=config, plan_cache_hit=cache_hit
+        )
+
+    def execute_prepared(
+        self,
+        prepared,
+        engine: str = "lolepop",
+        config: Optional[EngineConfig] = None,
+        plan_cache_hit: bool = False,
+    ) -> QueryResult:
+        """Execute a :class:`~repro.server.cache.PreparedPlan` (from
+        :meth:`prepare` or the plan cache) without re-parsing or
+        re-binding. The query service's execution entry point."""
         from .sql.ast import ExplainStmt
 
-        stmt = parse_sql(query)
-        if isinstance(stmt, ExplainStmt):
-            return self._explain_statement(stmt, query, config)
+        if isinstance(prepared.statement, ExplainStmt):
+            return self._explain_statement(
+                prepared.statement, prepared.sql, config
+            )
         if engine not in _ENGINES:
             raise ReproError(
                 f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}"
             )
-        plan = bind(stmt, self.catalog)
         runner = _ENGINES[engine](self.catalog, config or self.config)
         if engine == "lolepop":
-            return runner.run(plan, query=query)
-        return runner.run(plan)
+            prepared.executions += 1
+            return runner.run(
+                prepared.plan,
+                query=prepared.sql,
+                prepared=prepared if prepared.cacheable else None,
+                plan_cache_hit=plan_cache_hit,
+            )
+        return runner.run(prepared.plan)
 
     def _explain_statement(self, stmt, query: str, config=None) -> QueryResult:
         from .storage.batch import Batch

@@ -59,3 +59,25 @@ class ExecutionError(ReproError):
 class NotSupportedError(ReproError):
     """Raised for SQL features that are recognized but outside the
     reproduction's scope (see DESIGN.md section 7)."""
+
+
+class QueryCancelled(ExecutionError):
+    """Raised when a query is cancelled cooperatively — either by an
+    explicit ``cancel()`` or because its deadline expired. Surfaces at the
+    next ``run_region`` barrier of whichever scheduler runs the query."""
+
+    def __init__(self, message: str = "query cancelled", query_id=None):
+        super().__init__(message)
+        self.query_id = query_id
+
+
+class AdmissionError(ReproError):
+    """Raised when the query service refuses a submission: the admission
+    queue is full, or the query's estimated memory footprint exceeds the
+    service's aggregate budget."""
+
+    def __init__(self, message: str, reason: str = "rejected"):
+        super().__init__(message)
+        #: Machine-readable cause: ``"queue_full"``, ``"over_budget"``, or
+        #: ``"shutdown"``.
+        self.reason = reason

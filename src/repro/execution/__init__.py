@@ -21,8 +21,10 @@ from .scheduler import SimulatedScheduler, SplittableTask, WorkItem
 from .parallel import ParallelScheduler
 from .trace import ExecutionTrace, TraceRecord
 from .context import EXECUTION_MODES, EngineConfig, ExecutionContext
+from .cancellation import CancellationToken
 
 __all__ = [
+    "CancellationToken",
     "SimulatedScheduler",
     "ParallelScheduler",
     "SplittableTask",

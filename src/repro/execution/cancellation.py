@@ -1,0 +1,77 @@
+"""Cooperative query cancellation.
+
+A :class:`CancellationToken` travels with the query's
+:class:`~repro.execution.context.EngineConfig` into both schedulers, which
+call :meth:`CancellationToken.check` when entering every ``run_region`` /
+``account`` barrier. Cancellation is therefore *cooperative*: a region that
+is already running finishes its work items, and the query dies at the next
+barrier — the same granularity at which the morsel-driven model hands
+control back to the scheduler.
+
+Tokens are thread-safe: ``cancel()`` may be called from any thread (the
+service's cancel API, a timeout watchdog) while the query executes on a
+worker.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..errors import QueryCancelled
+
+
+class CancellationToken:
+    """Shared cancel flag plus an optional absolute deadline.
+
+    ``deadline`` is a :func:`time.monotonic` timestamp; ``None`` means no
+    timeout. Reading/writing ``_cancelled`` is a single attribute store, so
+    no lock is needed — the flag only ever transitions False → True.
+    """
+
+    __slots__ = ("deadline", "query_id", "_cancelled", "_reason")
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        query_id: Optional[str] = None,
+    ):
+        self.deadline = deadline
+        self.query_id = query_id
+        self._cancelled = False
+        self._reason = "query cancelled"
+
+    @classmethod
+    def with_timeout(
+        cls, seconds: Optional[float], query_id: Optional[str] = None
+    ) -> "CancellationToken":
+        """A token whose deadline is ``seconds`` from now (``None`` = no
+        deadline)."""
+        deadline = time.monotonic() + seconds if seconds is not None else None
+        return cls(deadline, query_id)
+
+    # ------------------------------------------------------------------
+    def cancel(self, reason: str = "query cancelled") -> None:
+        """Request cancellation; takes effect at the next barrier check."""
+        self._reason = reason
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` was called (deadline expiry is only
+        observed by :meth:`check`)."""
+        return self._cancelled
+
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+    def check(self) -> None:
+        """Raise :class:`~repro.errors.QueryCancelled` if cancelled or past
+        the deadline; otherwise return immediately (two attribute loads and
+        at most one clock read)."""
+        if self._cancelled:
+            raise QueryCancelled(self._reason, query_id=self.query_id)
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise QueryCancelled(
+                "query timeout exceeded", query_id=self.query_id
+            )

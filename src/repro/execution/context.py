@@ -45,6 +45,8 @@ class EngineConfig:
         spill_directory: Optional[str] = None,
         # --- cost-based decisions (paper §7 future work) ------------------
         cost_based_distinct: bool = False,
+        # --- service layer -------------------------------------------------
+        cancellation=None,
     ):
         if execution_mode not in EXECUTION_MODES:
             raise ValueError(
@@ -77,6 +79,28 @@ class EngineConfig:
         #: hash pair and the duplicate-sensitive ORDAGG for DISTINCT
         #: aggregates (§3.3's trade). Off = the paper's heuristic default.
         self.cost_based_distinct = cost_based_distinct
+        #: Optional per-query
+        #: :class:`~repro.execution.cancellation.CancellationToken`; both
+        #: schedulers check it when entering every region barrier, raising
+        #: :class:`~repro.errors.QueryCancelled` on cancel/timeout.
+        self.cancellation = cancellation
+
+    def translation_fingerprint(self) -> tuple:
+        """Hashable summary of every knob that influences logical-plan →
+        LOLEPOP-DAG translation. Two configs with equal fingerprints produce
+        structurally identical DAGs for the same bound plan, which is what
+        lets the plan cache reuse translated DAG templates across queries."""
+        return (
+            self.num_partitions,
+            self.reuse_buffers,
+            self.elide_sorts,
+            self.merge_unbounded_windows,
+            self.remove_redundant_combines,
+            self.reaggregate_grouping_sets,
+            self.two_phase_hashagg,
+            self.permutation_vectors,
+            self.cost_based_distinct,
+        )
 
     def clone(self, **overrides) -> "EngineConfig":
         """A copy of this config with keyword overrides applied."""
@@ -101,11 +125,11 @@ class ExecutionContext:
         self.trace = ExecutionTrace() if self.config.collect_trace else None
         if self.config.execution_mode == "parallel":
             self.scheduler = ParallelScheduler(
-                self.config.num_threads, self.trace
+                self.config.num_threads, self.trace, self.config.cancellation
             )
         else:
             self.scheduler = SimulatedScheduler(
-                self.config.num_threads, self.trace
+                self.config.num_threads, self.trace, self.config.cancellation
             )
         self._phase = "p0"
         self._phase_counter = 0

@@ -67,11 +67,19 @@ def shared_pool(num_threads: int) -> ThreadPoolExecutor:
 class ParallelScheduler:
     """Morsel-driven execution on a real thread pool with region barriers."""
 
-    def __init__(self, num_threads: int, trace: Optional[ExecutionTrace] = None):
+    def __init__(
+        self,
+        num_threads: int,
+        trace: Optional[ExecutionTrace] = None,
+        cancellation=None,
+    ):
         if num_threads < 1:
             raise ValueError("need at least one thread")
         self.num_threads = num_threads
         self.trace = trace
+        #: Optional :class:`~repro.execution.cancellation.CancellationToken`
+        #: checked when entering every region barrier.
+        self.cancellation = cancellation
         #: Total measured per-item work (comparable to the simulated
         #: scheduler's serial_time).
         self.serial_time = 0.0
@@ -113,6 +121,8 @@ class ParallelScheduler:
     ) -> List:
         """Execute ``fn(item)`` for every item on the worker pool as one
         parallel region. Returns results in item order."""
+        if self.cancellation is not None:
+            self.cancellation.check()
         items = list(items)
         if not items:
             return []
@@ -190,6 +200,8 @@ class ParallelScheduler:
     ) -> None:
         """API parity with the simulated scheduler: charge externally
         measured durations as one already-executed serial region."""
+        if self.cancellation is not None:
+            self.cancellation.check()
         self.serial_time += sum(durations)
         start = self._elapsed
         for duration in durations:

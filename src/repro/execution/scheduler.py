@@ -71,11 +71,19 @@ class SplittableTask:
 class SimulatedScheduler:
     """Greedy list scheduler over T virtual threads with region barriers."""
 
-    def __init__(self, num_threads: int, trace: Optional[ExecutionTrace] = None):
+    def __init__(
+        self,
+        num_threads: int,
+        trace: Optional[ExecutionTrace] = None,
+        cancellation=None,
+    ):
         if num_threads < 1:
             raise ValueError("need at least one thread")
         self.num_threads = num_threads
         self.trace = trace
+        #: Optional :class:`~repro.execution.cancellation.CancellationToken`
+        #: checked when entering every region barrier.
+        self.cancellation = cancellation
         #: Simulated clock per virtual thread.
         self._clocks = [0.0] * num_threads
         #: Total measured serial work (the "1 thread" time).
@@ -106,6 +114,8 @@ class SimulatedScheduler:
         """Execute ``fn(item)`` for every item, measure, and schedule the
         measured durations as one parallel region. Returns results in item
         order."""
+        if self.cancellation is not None:
+            self.cancellation.check()
         results = []
         durations = []
         for item in items:
@@ -123,6 +133,8 @@ class SimulatedScheduler:
         splittable: bool = False,
     ) -> None:
         """Schedule externally-measured durations as one region."""
+        if self.cancellation is not None:
+            self.cancellation.check()
         self.serial_time += sum(durations)
         barrier = self.sim_time
         self._clocks = [barrier] * self.num_threads

@@ -83,6 +83,18 @@ class SourceOp(Lolepop):
     def execute(self, ctx: ExecutionContext, inputs: List[OpResult]) -> OpResult:
         return self._thunk()
 
+    def rebind(self, source: Callable[[object], List[Batch]]) -> None:
+        """Point this SOURCE at a new query's pipeline evaluator. Used when
+        a cached DAG template is cloned for re-execution: the operator
+        parameters are reusable, but the thunk closes over the previous
+        runner. Requires :attr:`plan` (set by the translator)."""
+        if self.plan is None:
+            raise ExecutionError(
+                "cannot rebind a SOURCE without its logical plan"
+            )
+        plan = self.plan
+        self._thunk = lambda: source(plan)
+
 
 class Dag:
     """An executable DAG of LOLEPOPs with one sink."""
@@ -122,6 +134,33 @@ class Dag:
             self.add(new)
 
     # ------------------------------------------------------------------
+    def clone(self) -> "Dag":
+        """Structural copy for plan-cache reuse: fresh node instances wired
+        like the originals, sharing the (read-only) operator parameters.
+
+        Execution mutates node *instances* (``stats``, SORT's split
+        bookkeeping) but never the parameter lists, so a shallow per-node
+        copy gives an independently executable DAG while the cached template
+        stays pristine. SOURCE thunks are per-query (they close over the
+        runner) and must be rebound by the caller via
+        :meth:`SourceOp.rebind`.
+        """
+        import copy
+
+        mapping: Dict[int, Lolepop] = {}
+        cloned = Dag()
+        for node in self.topological_order():
+            twin = copy.copy(node)
+            twin.inputs = [mapping[id(dep)] for dep in node.inputs]
+            twin.after = [mapping[id(dep)] for dep in node.after]
+            twin.stats = None
+            mapping[id(node)] = twin
+            cloned.nodes.append(twin)
+        cloned.sink = mapping[id(self.sink)] if self.sink is not None else None
+        cloned.rewrites = list(self.rewrites)
+        cloned.region_plan = self.region_plan
+        return cloned
+
     def topological_order(self) -> List[Lolepop]:
         order: List[Lolepop] = []
         visiting: Dict[int, int] = {}

@@ -105,8 +105,19 @@ class LolepopEngine:
         self.config = config or EngineConfig()
 
     # ------------------------------------------------------------------
-    def run(self, plan: LogicalPlan, query: Optional[str] = None) -> QueryResult:
-        runner = _Runner(self.catalog, self.config)
+    def run(
+        self,
+        plan: LogicalPlan,
+        query: Optional[str] = None,
+        prepared=None,
+        plan_cache_hit: bool = False,
+    ) -> QueryResult:
+        """Execute ``plan``. When ``prepared`` (a plan-cache entry) is given,
+        translated DAG templates are reused across executions: each
+        statistics region clones its cached template instead of re-running
+        the translator, and a freshly translated region stores its template
+        back on the entry."""
+        runner = _Runner(self.catalog, self.config, prepared=prepared)
         profile = None
         if self.config.collect_metrics:
             from ..observability.metrics import QueryProfile
@@ -114,6 +125,8 @@ class LolepopEngine:
             profile = QueryProfile(query)
             profile.num_threads = self.config.num_threads
             profile.execution_mode = self.config.execution_mode
+            if plan_cache_hit:
+                profile.count("plan_cache.hit")
             runner.ctx.profile = profile
         try:
             batches = runner.execute_stream(plan)
@@ -180,11 +193,20 @@ class LolepopEngine:
 class _Runner:
     """Per-query execution state."""
 
-    def __init__(self, catalog: Catalog, config: EngineConfig):
+    def __init__(self, catalog: Catalog, config: EngineConfig, prepared=None):
         self.catalog = catalog
         self.ctx = ExecutionContext(config)
         self.dags: List[Dag] = []
         self._estimator = None
+        #: Plan-cache entry whose ``dag_templates`` this run reads/extends;
+        #: ``None`` when the query did not come through the cache.
+        self._prepared = prepared
+        self._fingerprint = (
+            config.translation_fingerprint() if prepared is not None else None
+        )
+        #: Statistics regions are encountered in a deterministic order for a
+        #: given (plan, config); this counter is the region's cache key.
+        self._region_seq = 0
         self._relational = RelationalExecutor(
             catalog, self.ctx, stats_handler=self._handle_statistics
         )
@@ -205,11 +227,42 @@ class _Runner:
         return self._estimator
 
     def _handle_statistics(self, plan: LogicalPlan) -> List[Batch]:
-        dag = translate_statistics(
-            plan, self.execute_stream, self.ctx.config, self.estimator
-        )
+        dag = self._cached_dag(plan)
+        if dag is None:
+            dag = translate_statistics(
+                plan, self.execute_stream, self.ctx.config, self.estimator
+            )
+            if self._prepared is not None:
+                # Store a pristine template (cloned before execution can
+                # mutate node state) for future runs of this statement.
+                self._prepared.dag_templates[
+                    (self._fingerprint, self._region_seq - 1)
+                ] = dag.clone()
         self.dags.append(dag)
         result = dag.execute(self.ctx)
         if isinstance(result, TupleBuffer):
             return result.scan_batches()
         return result
+
+    def _cached_dag(self, plan: LogicalPlan) -> Optional[Dag]:
+        """Clone of the cached DAG template for this region, or ``None``.
+        The template's region plan must be the *same object* as ``plan`` —
+        plan-cache entries reuse one bound plan, so an identity mismatch
+        means the cached template belongs to a different region shape and
+        must not be reused."""
+        if self._prepared is None:
+            return None
+        key = (self._fingerprint, self._region_seq)
+        self._region_seq += 1
+        template = self._prepared.dag_templates.get(key)
+        if template is None or template.region_plan is not plan:
+            return None
+        from .base import SourceOp
+
+        dag = template.clone()
+        for node in dag.nodes:
+            if isinstance(node, SourceOp):
+                node.rebind(self.execute_stream)
+        if self.ctx.profile is not None:
+            self.ctx.profile.count("plan_cache.dag_reuse")
+        return dag

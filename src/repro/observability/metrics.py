@@ -30,27 +30,43 @@ __all__ = [
 
 
 class Counter:
-    """A monotonically increasing value."""
+    """A monotonically increasing value.
 
-    __slots__ = ("value",)
+    Thread-safe: queries complete concurrently under the service layer, and
+    ``value += amount`` is a load/add/store sequence the interpreter may
+    interleave between threads — so every increment takes the lock.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A value that can go up and down (last write wins)."""
+    """A value that can go up and down (last write wins).
 
-    __slots__ = ("value",)
+    ``set`` is a single attribute store (atomic under the GIL); ``add`` is a
+    read-modify-write and therefore locked.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self.value += amount
 
 
 #: Default histogram bounds: log-spaced seconds from 0.1 ms to 100 s.
@@ -62,7 +78,7 @@ DEFAULT_BUCKETS = (
 class Histogram:
     """Fixed-bucket histogram (cumulative-style buckets, like Prometheus)."""
 
-    __slots__ = ("bounds", "counts", "total", "sum")
+    __slots__ = ("bounds", "counts", "total", "sum", "_lock")
 
     def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS):
         self.bounds: Tuple[float, ...] = tuple(sorted(bounds))
@@ -70,15 +86,19 @@ class Histogram:
         self.counts: List[int] = [0] * (len(self.bounds) + 1)
         self.total = 0
         self.sum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.total += 1
-        self.sum += value
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.counts[index] += 1
-                return
-        self.counts[-1] += 1
+        # total/sum/counts must move together: concurrent observers would
+        # otherwise lose increments between the load and the store.
+        with self._lock:
+            self.total += 1
+            self.sum += value
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.counts[index] += 1
+                    return
+            self.counts[-1] += 1
 
     @property
     def mean(self) -> float:

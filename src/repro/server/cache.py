@@ -1,0 +1,211 @@
+"""Plan and result caches for the query service.
+
+Both caches key on *normalized SQL text* plus the catalog version
+(:attr:`repro.storage.table.Catalog.version`), which every DDL statement and
+every table mutation advances — so a schema or data change implicitly
+invalidates all previously cached plans and results, and stale entries
+simply age out of the LRU.
+
+The plan cache holds :class:`PreparedPlan` entries: the parsed AST, the
+bound logical plan, and (filled in lazily by the LOLEPOP engine) translated
+DAG *templates* per translation-relevant config fingerprint. A hit therefore
+skips parse, bind, **and** translate — the engine clones the template
+(fresh node instances, rebound SOURCE thunks) instead of re-running the
+Figure-2 algorithm. This is the cross-query extension of the paper's
+intra-plan reuse: materialized plan fragments become shared state owned by
+the service layer.
+
+The result cache is a bounded LRU over finished
+:class:`~repro.lolepop.engine.QueryResult` objects for read-only (SELECT)
+statements. Entries are returned as-is and must be treated as immutable by
+callers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+
+def normalize_sql(text: str) -> str:
+    """Whitespace-collapsed, case-folded form of a statement.
+
+    Case is only folded *outside* quoted regions: string literals
+    (``'...'``, with ``''`` escapes) and quoted identifiers (``"..."``)
+    keep their exact spelling, so ``SELECT 'A'`` and ``select 'a'`` stay
+    distinct while ``SELECT  x`` and ``select x`` coincide.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    pending_space = False
+    while i < n:
+        ch = text[i]
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            while j < n:
+                if text[j] == quote:
+                    if quote == "'" and j + 1 < n and text[j + 1] == "'":
+                        j += 2
+                        continue
+                    break
+                j += 1
+            if pending_space and out:
+                out.append(" ")
+            pending_space = False
+            out.append(text[i : j + 1])
+            i = j + 1
+            continue
+        if ch.isspace():
+            pending_space = True
+            i += 1
+            continue
+        if pending_space and out:
+            out.append(" ")
+        pending_space = False
+        out.append(ch.lower())
+        i += 1
+    return "".join(out)
+
+
+class PreparedPlan:
+    """One plan-cache entry: everything derivable from SQL text + catalog.
+
+    ``dag_templates`` maps ``(config fingerprint, region sequence number)``
+    to a pristine translated :class:`~repro.lolepop.base.Dag`. Templates are
+    never executed — the engine clones them per run — so concurrent
+    executions of the same statement stay independent.
+    """
+
+    __slots__ = (
+        "sql",
+        "normalized",
+        "statement",
+        "plan",
+        "catalog_version",
+        "cacheable",
+        "dag_templates",
+        "executions",
+    )
+
+    def __init__(
+        self,
+        sql: str,
+        statement,
+        plan,
+        catalog_version: int,
+        cacheable: bool = True,
+    ):
+        self.sql = sql
+        self.normalized = normalize_sql(sql)
+        self.statement = statement
+        self.plan = plan
+        self.catalog_version = catalog_version
+        self.cacheable = cacheable
+        self.dag_templates: Dict[Tuple, object] = {}
+        self.executions = 0
+
+
+class _LruCache:
+    """Thread-safe bounded LRU (shared machinery of both caches)."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PlanCache(_LruCache):
+    """LRU of :class:`PreparedPlan` keyed on (normalized SQL, catalog
+    version)."""
+
+    def lookup(
+        self,
+        sql: str,
+        catalog,
+        build: Callable[[], PreparedPlan],
+    ) -> Tuple[PreparedPlan, bool]:
+        """Return ``(entry, was_hit)``; on a miss, ``build()`` runs outside
+        the lock (parse + bind may be slow) and the built entry is inserted
+        if cacheable. Races between identical misses are benign — the last
+        insert wins and both callers hold a valid entry."""
+        key = (normalize_sql(sql), catalog.version)
+        entry = self.get(key)
+        if entry is not None:
+            return entry, True
+        entry = build()
+        if entry.cacheable:
+            self.put(key, entry)
+        return entry, False
+
+
+class ResultCache(_LruCache):
+    """LRU of finished query results for read-only statements.
+
+    Keyed on (normalized SQL, catalog version, engine); results whose row
+    count exceeds ``max_rows`` are not stored (they would evict many small,
+    frequently repeated results for one scan-the-world query).
+    """
+
+    def __init__(self, capacity: int, max_rows: int = 100_000):
+        super().__init__(capacity)
+        self.max_rows = max_rows
+
+    @staticmethod
+    def key(sql: str, catalog_version: int, engine: str) -> Tuple:
+        return (normalize_sql(sql), catalog_version, engine)
+
+    def admit(self, key: Tuple, result) -> bool:
+        """Store ``result`` unless it is over the row bound; returns whether
+        it was cached."""
+        if len(result) > self.max_rows:
+            return False
+        self.put(key, result)
+        return True

@@ -1,0 +1,419 @@
+"""The concurrent query service.
+
+:class:`QueryService` sits in front of a :class:`~repro.api.Database` and
+turns the single-caller facade into a multi-client server:
+
+- submissions arrive from many threads and run on a bounded driver pool
+  (one worker per admission slot); the per-query *work items* still execute
+  on the process-wide PR-1 scheduler pools
+  (:func:`repro.execution.parallel.shared_pool`), which all concurrent
+  queries share. The driver pool is deliberately a separate executor: if
+  query drivers and their own work items shared one pool, drivers occupying
+  every worker would wait forever on work items that can no longer be
+  scheduled.
+- admission control (:mod:`repro.server.admission`) bounds concurrency and
+  aggregate estimated memory; excess queries wait in a bounded FIFO queue
+  and hopeless ones are rejected with
+  :class:`~repro.errors.AdmissionError`.
+- plan caching lives on the database (shared by every session); this layer
+  adds a bounded LRU **result cache** for read-only statements, invalidated
+  like the plan cache by the catalog version counter.
+- every query gets a :class:`~repro.execution.cancellation.CancellationToken`
+  with an optional deadline; both schedulers check it at region barriers,
+  so ``cancel()`` and timeouts surface as
+  :class:`~repro.errors.QueryCancelled` without killing threads.
+
+Service counters/histograms go to a
+:class:`~repro.observability.metrics.MetricsRegistry` (the process-wide
+:data:`~repro.observability.metrics.GLOBAL_METRICS` by default) under the
+``service.`` prefix: admitted/queued/rejected/cancelled/completed/failed,
+result-cache hits, queue-depth gauge, and queue-wait / latency histograms.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional
+
+from ..errors import AdmissionError, QueryCancelled, ReproError
+from ..execution.cancellation import CancellationToken
+from ..observability.metrics import GLOBAL_METRICS, MetricsRegistry
+from .admission import AdmissionController, estimate_memory_bytes
+from .cache import ResultCache, normalize_sql
+from .session import Session
+
+#: Histogram bounds for queue-wait times: finer than the default latency
+#: buckets at the short end (well-provisioned services queue for
+#: microseconds, overloaded ones for seconds).
+_QUEUE_WAIT_BUCKETS = (
+    0.00001, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+    30.0,
+)
+
+
+class ServiceConfig:
+    """Tunables of one :class:`QueryService`."""
+
+    def __init__(
+        self,
+        max_concurrent: int = 4,
+        max_queue: int = 32,
+        memory_budget_bytes: Optional[float] = None,
+        result_cache_size: int = 64,
+        result_cache_max_rows: int = 100_000,
+        default_timeout: Optional[float] = None,
+        default_engine: str = "lolepop",
+    ):
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        #: Aggregate estimated-working-set budget across running queries;
+        #: ``None`` disables memory-based admission.
+        self.memory_budget_bytes = memory_budget_bytes
+        #: ``0`` disables the result cache.
+        self.result_cache_size = result_cache_size
+        self.result_cache_max_rows = result_cache_max_rows
+        #: Applied to queries submitted without an explicit timeout.
+        self.default_timeout = default_timeout
+        self.default_engine = default_engine
+
+
+class QueryTicket:
+    """Handle to one submitted query: state, result, and cancellation."""
+
+    def __init__(self, query_id: str, sql: str, session_id: str):
+        self.query_id = query_id
+        self.sql = sql
+        self.session_id = session_id
+        #: ``queued`` → ``running`` → ``done`` | ``failed`` | ``cancelled``.
+        #: Result-cache hits are born ``done``.
+        self.state = "queued"
+        self.est_bytes = 0.0
+        self.from_result_cache = False
+        self.token: Optional[CancellationToken] = None
+        self.submitted_at = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._result = None
+        self._error: Optional[BaseException] = None
+        self._event = threading.Event()
+        # Set by the service at submit time; consumed by _run.
+        self._prepared = None
+        self._engine = "lolepop"
+        self._config = None
+        self._cache_key = None
+        self._plan_cache_hit = False
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None):
+        """Block until the query finishes; returns its
+        :class:`~repro.lolepop.engine.QueryResult` or raises the query's
+        error (:class:`~repro.errors.QueryCancelled` after cancel/timeout,
+        :class:`~repro.errors.AdmissionError` if it never ran, ...)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"query {self.query_id} still {self.state} after {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def _finish(self, state: str, result=None, error=None) -> None:
+        self.state = state
+        self._result = result
+        self._error = error
+        self.finished_at = time.monotonic()
+        self._event.set()
+
+
+class QueryService:
+    """Concurrent, cached, admission-controlled front end of a database."""
+
+    def __init__(
+        self,
+        database,
+        config: Optional[ServiceConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.db = database
+        self.config = config or ServiceConfig()
+        self.metrics = registry if registry is not None else GLOBAL_METRICS
+        self.admission = AdmissionController(
+            self.config.max_concurrent,
+            self.config.max_queue,
+            self.config.memory_budget_bytes,
+        )
+        self.result_cache = (
+            ResultCache(
+                self.config.result_cache_size,
+                self.config.result_cache_max_rows,
+            )
+            if self.config.result_cache_size
+            else None
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrent,
+            thread_name_prefix="repro-service",
+        )
+        self._ids = itertools.count(1)
+        self._session_ids = itertools.count(1)
+        #: Live (not yet finished) tickets by query id.
+        self._tickets: Dict[str, QueryTicket] = {}
+        self._tickets_lock = threading.Lock()
+        self._estimator = None
+        self._estimator_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def session(self, **kwargs) -> Session:
+        """Open a new client session; keyword arguments become the
+        session's config overrides (see :class:`Session`)."""
+        return Session(self, f"s{next(self._session_ids)}", **kwargs)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        sql: str,
+        session: Optional[Session] = None,
+        engine: Optional[str] = None,
+        config=None,
+        timeout: Optional[float] = None,
+        use_result_cache: bool = True,
+    ) -> QueryTicket:
+        """Submit one statement; returns immediately with a
+        :class:`QueryTicket`. Raises :class:`~repro.errors.AdmissionError`
+        when the service refuses the query (full queue / over budget)."""
+        if self._closed:
+            raise AdmissionError("service is shut down", reason="shutdown")
+        self._count("service.submitted")
+        engine = engine or (
+            session.engine if session is not None else self.config.default_engine
+        )
+        base_config = config
+        if base_config is None:
+            base_config = (
+                session.engine_config()
+                if session is not None
+                else self.db.config
+            )
+        if timeout is None:
+            timeout = (
+                session.default_timeout
+                if session is not None and session.default_timeout is not None
+                else self.config.default_timeout
+            )
+
+        prepared, plan_hit = self.db._prepare_cached(sql)
+        if plan_hit:
+            self._count("service.plan_cache_hits")
+
+        ticket = QueryTicket(
+            f"q{next(self._ids)}",
+            sql,
+            session.session_id if session is not None else "-",
+        )
+        ticket._prepared = prepared
+        ticket._engine = engine
+
+        # Result cache: only read-only statements, only when the caller is
+        # not asking for fresh traces/metrics.
+        cacheable = (
+            self.result_cache is not None
+            and use_result_cache
+            and prepared.cacheable
+            and not base_config.collect_trace
+            and not base_config.collect_metrics
+        )
+        if cacheable:
+            key = self.result_cache.key(sql, self.db.catalog.version, engine)
+            ticket._cache_key = key
+            cached = self.result_cache.get(key)
+            if cached is not None:
+                self._count("service.result_cache_hits")
+                ticket.from_result_cache = True
+                ticket.started_at = ticket.submitted_at
+                ticket._finish("done", result=cached)
+                self._count("service.completed")
+                return ticket
+
+        token = CancellationToken.with_timeout(timeout, ticket.query_id)
+        ticket.token = token
+        ticket._config = base_config.clone(cancellation=token)
+        ticket._plan_cache_hit = plan_hit
+        if (
+            self.config.memory_budget_bytes is not None
+            and prepared.plan is not None
+        ):
+            ticket.est_bytes = estimate_memory_bytes(
+                prepared.plan, self._get_estimator()
+            )
+
+        with self._tickets_lock:
+            self._tickets[ticket.query_id] = ticket
+        try:
+            run_now = self.admission.admit(ticket)
+        except AdmissionError as error:
+            self._count("service.rejected")
+            with self._tickets_lock:
+                self._tickets.pop(ticket.query_id, None)
+            ticket._finish("failed", error=error)
+            raise
+        self._count("service.admitted")
+        if run_now:
+            self._dispatch(ticket)
+        else:
+            self._count("service.queued")
+            self._gauge("service.queue_depth", self.admission.queue_depth)
+        return ticket
+
+    # ------------------------------------------------------------------
+    def cancel(self, query_id: str) -> bool:
+        """Cancel a queued or running query. Queued queries die immediately;
+        running ones stop at their next region barrier. Returns False when
+        the id is unknown or already finished."""
+        with self._tickets_lock:
+            ticket = self._tickets.get(query_id)
+        if ticket is None or ticket.done:
+            return False
+        if self.admission.remove(ticket):
+            # Still queued: it never started, finish it here.
+            self._gauge("service.queue_depth", self.admission.queue_depth)
+            self._retire(ticket)
+            ticket._finish(
+                "cancelled",
+                error=QueryCancelled("cancelled while queued", query_id),
+            )
+            self._count("service.cancelled")
+            return True
+        if ticket.token is not None:
+            ticket.token.cancel()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _dispatch(self, ticket: QueryTicket) -> None:
+        self._executor.submit(self._run, ticket)
+
+    def _run(self, ticket: QueryTicket) -> None:
+        ticket.started_at = time.monotonic()
+        ticket.state = "running"
+        self._histogram(
+            "service.queue_wait_seconds", _QUEUE_WAIT_BUCKETS
+        ).observe(ticket.queue_wait)
+        try:
+            if ticket.token is not None:
+                ticket.token.check()  # cancelled while queued?
+            result = self.db.execute_prepared(
+                ticket._prepared,
+                engine=ticket._engine,
+                config=ticket._config,
+                plan_cache_hit=ticket._plan_cache_hit,
+            )
+        except QueryCancelled as error:
+            ticket._finish("cancelled", error=error)
+            self._count("service.cancelled")
+            if ticket.token is not None and ticket.token.expired():
+                self._count("service.timeouts")
+        except BaseException as error:  # noqa: BLE001 — recorded, not lost
+            ticket._finish("failed", error=error)
+            self._count("service.failed")
+        else:
+            if ticket._cache_key is not None:
+                self.result_cache.admit(ticket._cache_key, result)
+            ticket._finish("done", result=result)
+            self._count("service.completed")
+            self._histogram("service.latency_seconds").observe(ticket.latency)
+        finally:
+            self._retire(ticket)
+            for ready in self.admission.release(ticket):
+                self._dispatch(ready)
+            self._gauge("service.queue_depth", self.admission.queue_depth)
+
+    def _retire(self, ticket: QueryTicket) -> None:
+        with self._tickets_lock:
+            self._tickets.pop(ticket.query_id, None)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def _get_estimator(self):
+        with self._estimator_lock:
+            if self._estimator is None:
+                from ..logical.cardinality import CardinalityEstimator
+                from ..stats import StatisticsCache
+
+                self._estimator = CardinalityEstimator(
+                    StatisticsCache(self.db.catalog)
+                )
+            return self._estimator
+
+    def _count(self, name: str) -> None:
+        self.metrics.counter(name).inc()
+
+    def _gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def _histogram(self, name: str, bounds=None):
+        if bounds is not None:
+            return self.metrics.histogram(name, bounds)
+        return self.metrics.histogram(name)
+
+    def stats(self) -> dict:
+        """One JSON-serializable snapshot of the whole service layer."""
+        service = {
+            name.split(".", 1)[1]: value
+            for name, value in self.metrics.snapshot().items()
+            if name.startswith("service.")
+        }
+        out = {
+            "service": service,
+            "running": self.admission.running,
+            "queue_depth": self.admission.queue_depth,
+            "reserved_bytes": self.admission.reserved_bytes,
+        }
+        if self.db.plan_cache is not None:
+            out["plan_cache"] = self.db.plan_cache.stats()
+        if self.result_cache is not None:
+            out["result_cache"] = self.result_cache.stats()
+        return out
+
+    def shutdown(self, wait: bool = True, cancel_running: bool = False) -> None:
+        """Refuse new submissions and stop the driver pool. With
+        ``cancel_running`` every live query is cancelled first."""
+        self._closed = True
+        if cancel_running:
+            with self._tickets_lock:
+                live = list(self._tickets.values())
+            for ticket in live:
+                self.cancel(ticket.query_id)
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -18,6 +18,9 @@ commands:
     .profile <sql>             per-operator work breakdown
     .profile json <path> <sql> write the full query profile as JSON
     .metrics                   process-wide metrics snapshot
+    .server                    query-service stats (admission, caches, queue)
+    .server on [clients]       route SQL through a QueryService
+    .server off                back to direct execution
     .timing on|off             toggle per-query timing output
     .quit                      exit
 
@@ -45,6 +48,11 @@ class Shell:
         self.mode = "simulated"
         self.timing = True
         self.out = out or sys.stdout
+        #: Lazily created QueryService; SQL routes through it when
+        #: ``self.server_enabled`` (the ``.server on`` command).
+        self.service = None
+        self.server_enabled = False
+        self._session = None
 
     # ------------------------------------------------------------------
     def write(self, text: str) -> None:
@@ -128,6 +136,8 @@ class Shell:
             self._profile(argument)
         elif command == ".metrics":
             self._metrics()
+        elif command == ".server":
+            self._server(argument)
         else:
             self.write(f"unknown command: {command} (try .help)")
         return True
@@ -171,9 +181,69 @@ class Shell:
         except ReproError as error:
             self.write(f"error: {error}")
 
+    def _server(self, argument: str) -> None:
+        parts = argument.split()
+        if parts and parts[0] == "on":
+            if self.service is None:
+                from .server import QueryService, ServiceConfig
+
+                clients = int(parts[1]) if len(parts) > 1 else 4
+                self.service = QueryService(
+                    self.db, ServiceConfig(max_concurrent=clients)
+                )
+                self._session = self.service.session()
+            self.server_enabled = True
+            self.write(
+                f"server: on "
+                f"({self.service.config.max_concurrent} slots, "
+                f"queue {self.service.config.max_queue})"
+            )
+            return
+        if parts and parts[0] == "off":
+            self.server_enabled = False
+            self.write("server: off")
+            return
+        if self.service is None:
+            self.write("server: off (enable with .server on [clients])")
+            return
+        stats = self.service.stats()
+        state = "on" if self.server_enabled else "off (stats retained)"
+        self.write(f"server: {state}")
+        self.write(
+            f"  running {stats['running']}, queued {stats['queue_depth']}, "
+            f"reserved {stats['reserved_bytes']:.0f} bytes"
+        )
+        for name in sorted(stats["service"]):
+            value = stats["service"][name]
+            if isinstance(value, dict):
+                self.write(
+                    f"  {name}: n={value['total']} mean={value['mean']:.6f}s"
+                )
+            else:
+                self.write(f"  {name}: {value:g}")
+        for cache in ("plan_cache", "result_cache"):
+            if cache in stats:
+                c = stats[cache]
+                self.write(
+                    f"  {cache}: {c['size']}/{c['capacity']} entries, "
+                    f"{c['hits']} hits / {c['misses']} misses "
+                    f"(rate {c['hit_rate']:.2f})"
+                )
+
     def _run_sql(self, sql: str) -> None:
         try:
-            result = self.db.sql(sql, engine=self.engine, config=self._config())
+            if self.server_enabled and self._session is not None:
+                self._session.config_overrides = {
+                    "num_threads": self.threads,
+                    "execution_mode": self.mode,
+                }
+                result = self._session.execute(
+                    sql, engine=self.engine, use_result_cache=False
+                )
+            else:
+                result = self.db.sql(
+                    sql, engine=self.engine, config=self._config()
+                )
         except ReproError as error:
             self.write(f"error: {error}")
             return

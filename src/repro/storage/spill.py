@@ -44,8 +44,14 @@ class SpillManager:
     """Owns the spill directory; hands out file slots and tracks totals."""
 
     def __init__(self, directory: Optional[str] = None):
-        self._own = directory is None
-        self.directory = directory or tempfile.mkdtemp(prefix="repro-spill-")
+        if directory is None:
+            self.directory = tempfile.mkdtemp(prefix="repro-spill-")
+        else:
+            # Each manager gets a private subdirectory: concurrent queries
+            # may share one configured spill root, and their part files
+            # (both named part-000001.npz, ...) must never collide.
+            os.makedirs(directory, exist_ok=True)
+            self.directory = tempfile.mkdtemp(prefix="query-", dir=directory)
         self._counter = 0
         self._live_paths: set = set()
         #: Guards slot allocation and counters: spill/load runs inside work
@@ -106,9 +112,8 @@ class SpillManager:
             pass
 
     def cleanup(self) -> None:
-        """Delete every file this manager created (and, if the directory
-        was self-created, the directory itself)."""
+        """Delete every file this manager created and its (always
+        manager-private) directory."""
         for path in list(self._live_paths):
             self.release(path)
-        if self._own:
-            shutil.rmtree(self.directory, ignore_errors=True)
+        shutil.rmtree(self.directory, ignore_errors=True)

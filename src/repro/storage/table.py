@@ -7,6 +7,7 @@ top-level :class:`~repro.api.Database`.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
@@ -28,6 +29,13 @@ class Table:
         self._columns: List[Column] = [
             Column(f.dtype, np.empty(0, dtype=f.dtype.numpy_dtype)) for f in schema
         ]
+        #: Serializes mutations. A catalog-owned table shares the catalog's
+        #: RLock so one lock orders all DDL/DML across concurrent sessions;
+        #: a free-standing table gets its own.
+        self._lock = threading.RLock()
+        #: Called (under the lock) after every mutation; the owning catalog
+        #: installs this to advance its global version counter.
+        self._on_mutate = None
 
     # ------------------------------------------------------------------
     @property
@@ -82,24 +90,33 @@ class Table:
                 f"schema mismatch inserting into {self.name!r}: "
                 f"{batch.schema!r} vs {self.schema!r}"
             )
-        if self.num_rows == 0:
-            self._columns = [col.copy() for col in batch.columns]
-        else:
-            self._columns = [
-                Column.concat([mine, theirs])
-                for mine, theirs in zip(self._columns, batch.columns)
-            ]
-        self.version += 1
+        with self._lock:
+            if self.num_rows == 0:
+                self._columns = [col.copy() for col in batch.columns]
+            else:
+                self._columns = [
+                    Column.concat([mine, theirs])
+                    for mine, theirs in zip(self._columns, batch.columns)
+                ]
+            self.version += 1
+            if self._on_mutate is not None:
+                self._on_mutate()
 
     def truncate(self) -> None:
-        self._columns = [
-            Column(f.dtype, np.empty(0, dtype=f.dtype.numpy_dtype))
-            for f in self.schema
-        ]
-        self.version += 1
+        with self._lock:
+            self._columns = [
+                Column(f.dtype, np.empty(0, dtype=f.dtype.numpy_dtype))
+                for f in self.schema
+            ]
+            self.version += 1
+            if self._on_mutate is not None:
+                self._on_mutate()
 
     # ------------------------------------------------------------------
     def to_batch(self) -> Batch:
+        # Mutations replace ``_columns`` wholesale (never in place), so a
+        # reader snapshots either the old or the new column list — scans
+        # need no lock.
         return Batch(self.schema, list(self._columns))
 
     def scan(self, morsel_size: Optional[int] = None) -> List[Batch]:
@@ -114,30 +131,57 @@ class Table:
 
 
 class Catalog:
-    """Name → table mapping with case-insensitive lookup."""
+    """Name → table mapping with case-insensitive lookup.
+
+    DDL (``create_table``/``drop_table``) and DML (inserts into catalog-owned
+    tables) are serialized by one reentrant lock and advance a global
+    :attr:`version` counter. The plan and result caches of the query service
+    key their invalidation on that counter: any schema or data change makes
+    every previously cached plan/result stale.
+    """
 
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
+        self._lock = threading.RLock()
+        #: Bumped (under the lock) by every DDL statement and every mutation
+        #: of a catalog-owned table.
+        self.version = 0
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The catalog-wide DDL/DML lock (shared with owned tables)."""
+        return self._lock
+
+    def _bump_version(self) -> None:
+        with self._lock:
+            self.version += 1
 
     def create_table(
         self, name: str, schema: Union[Schema, Sequence, Dict[str, Any]]
     ) -> Table:
         key = name.lower()
-        if key in self._tables:
-            raise CatalogError(f"table already exists: {name!r}")
         if isinstance(schema, dict):
             schema = Schema(Field(col, dtype) for col, dtype in schema.items())
         elif not isinstance(schema, Schema):
             schema = Schema(Field(col, dtype) for col, dtype in schema)
-        table = Table(name, schema)
-        self._tables[key] = table
-        return table
+        with self._lock:
+            if key in self._tables:
+                raise CatalogError(f"table already exists: {name!r}")
+            table = Table(name, schema)
+            table._lock = self._lock
+            table._on_mutate = self._bump_version
+            self._tables[key] = table
+            self.version += 1
+            return table
 
     def drop_table(self, name: str) -> None:
         key = name.lower()
-        if key not in self._tables:
-            raise CatalogError(f"unknown table: {name!r}")
-        del self._tables[key]
+        with self._lock:
+            if key not in self._tables:
+                raise CatalogError(f"unknown table: {name!r}")
+            table = self._tables.pop(key)
+            table._on_mutate = None
+            self.version += 1
 
     def has(self, name: str) -> bool:
         return name.lower() in self._tables

@@ -1,0 +1,545 @@
+"""Tests for the query service layer: sessions, admission control,
+cancellation, result caching, and concurrent differential correctness."""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdmissionError,
+    Database,
+    EngineConfig,
+    QueryCancelled,
+    QueryService,
+    ServiceConfig,
+)
+from repro.errors import ReproError
+from repro.observability.metrics import MetricsRegistry
+from repro.server.admission import AdmissionController, estimate_memory_bytes
+
+from tests.helpers import normalized_rows
+
+
+def make_db(rows=3000, seed=1, plan_cache_size=256):
+    db = Database(num_threads=2, plan_cache_size=plan_cache_size)
+    db.create_table("t", {"g": "int64", "x": "float64", "o": "int64"})
+    rng = np.random.default_rng(seed)
+    db.insert(
+        "t",
+        {
+            "g": rng.integers(0, 6, rows),
+            "x": rng.random(rows).round(4),
+            "o": rng.permutation(rows),
+        },
+    )
+    return db
+
+
+def service_for(db, registry=None, **cfg):
+    return QueryService(
+        db, ServiceConfig(**cfg), registry=registry or MetricsRegistry()
+    )
+
+
+class _FakeTicket:
+    def __init__(self, query_id, est_bytes=0.0):
+        self.query_id = query_id
+        self.est_bytes = est_bytes
+
+
+# ---------------------------------------------------------------------------
+# Admission controller (unit, deterministic)
+# ---------------------------------------------------------------------------
+class TestAdmissionController:
+    def test_admit_until_full_then_queue(self):
+        ctl = AdmissionController(max_concurrent=2, max_queue=2)
+        a, b, c = (_FakeTicket(f"q{i}") for i in range(3))
+        assert ctl.admit(a) is True
+        assert ctl.admit(b) is True
+        assert ctl.admit(c) is False  # queued
+        assert ctl.running == 2 and ctl.queue_depth == 1
+
+    def test_queue_full_rejection(self):
+        ctl = AdmissionController(max_concurrent=1, max_queue=1)
+        ctl.admit(_FakeTicket("q1"))
+        ctl.admit(_FakeTicket("q2"))
+        with pytest.raises(AdmissionError) as info:
+            ctl.admit(_FakeTicket("q3"))
+        assert info.value.reason == "queue_full"
+
+    def test_over_budget_rejection(self):
+        ctl = AdmissionController(1, 4, memory_budget_bytes=100)
+        with pytest.raises(AdmissionError) as info:
+            ctl.admit(_FakeTicket("big", est_bytes=101))
+        assert info.value.reason == "over_budget"
+
+    def test_memory_budget_queues_within_budget(self):
+        ctl = AdmissionController(max_concurrent=4, max_queue=4,
+                                  memory_budget_bytes=100)
+        a = _FakeTicket("a", 60)
+        b = _FakeTicket("b", 60)  # fits alone, not alongside a
+        assert ctl.admit(a) is True
+        assert ctl.admit(b) is False
+        assert ctl.reserved_bytes == 60
+        ready = ctl.release(a)
+        assert ready == [b]
+        assert ctl.reserved_bytes == 60 and ctl.running == 1
+
+    def test_release_dispatches_fifo(self):
+        ctl = AdmissionController(max_concurrent=1, max_queue=8)
+        first = _FakeTicket("first")
+        ctl.admit(first)
+        queued = [_FakeTicket(f"w{i}") for i in range(3)]
+        for ticket in queued:
+            assert ctl.admit(ticket) is False
+        # Strict FIFO: releasing the runner starts exactly the head.
+        ready = ctl.release(first)
+        assert [t.query_id for t in ready] == ["w0"]
+        ready = ctl.release(ready[0])
+        assert [t.query_id for t in ready] == ["w1"]
+
+    def test_fifo_head_blocks_later_small_queries(self):
+        # Strict FIFO: a big head must not be overtaken by a small one.
+        ctl = AdmissionController(4, 8, memory_budget_bytes=100)
+        runner = _FakeTicket("run", 80)
+        ctl.admit(runner)
+        big = _FakeTicket("big", 90)
+        small = _FakeTicket("small", 5)
+        assert ctl.admit(big) is False
+        assert ctl.admit(small) is False
+        ready = ctl.release(runner)
+        assert [t.query_id for t in ready] == ["big", "small"]
+
+    def test_remove_queued(self):
+        ctl = AdmissionController(1, 4)
+        ctl.admit(_FakeTicket("run"))
+        queued = _FakeTicket("q")
+        ctl.admit(queued)
+        assert ctl.remove(queued) is True
+        assert ctl.remove(queued) is False
+        assert ctl.queue_depth == 0
+
+    def test_estimate_memory_bytes_positive_and_monotone(self):
+        db = make_db(rows=2000)
+        from repro.logical.cardinality import CardinalityEstimator
+        from repro.stats import StatisticsCache
+
+        estimator = CardinalityEstimator(StatisticsCache(db.catalog))
+        small = estimate_memory_bytes(
+            db.plan("SELECT sum(x) FROM t WHERE g = 0"), estimator
+        )
+        big = estimate_memory_bytes(
+            db.plan("SELECT t1.x FROM t t1 JOIN t t2 ON t1.g = t2.g"),
+            estimator,
+        )
+        assert 0 < small < big
+
+
+# ---------------------------------------------------------------------------
+# Service-level admission + lifecycle
+# ---------------------------------------------------------------------------
+class TestQueryService:
+    def test_single_query_matches_direct_execution(self):
+        db = make_db()
+        sql = "SELECT g, median(x), sum(x) FROM t GROUP BY g"
+        expected = db.sql(sql).rows()
+        with service_for(db) as service:
+            got = service.session().execute(sql).rows()
+        assert got == expected
+
+    def test_concurrency_capped_and_all_complete(self):
+        db = make_db()
+        sql = "SELECT g, median(x) FROM t GROUP BY g"
+        expected = db.sql(sql).rows()
+        with service_for(db, max_concurrent=1, max_queue=64) as service:
+            session = service.session()
+            tickets = [
+                session.submit(sql, use_result_cache=False) for _ in range(10)
+            ]
+            results = [t.result(timeout=60) for t in tickets]
+        assert all(r.rows() == expected for r in results)
+        stats = service.stats()["service"]
+        assert stats["submitted"] == 10
+        assert stats["admitted"] == 10
+        assert stats["completed"] == 10
+        # With one slot and instant submissions, later queries had to queue.
+        assert stats.get("queued", 0) >= 1
+        assert service.admission.running == 0
+        assert service.admission.queue_depth == 0
+
+    def test_over_budget_rejection_via_service(self):
+        db = make_db(rows=5000)
+        # A scan of t is estimated at ~120 kB; a full projection doubles
+        # that (scan + output), so a 150 kB budget rejects the wide query
+        # while the count(*) (scan + one row) still fits.
+        with service_for(db, memory_budget_bytes=150_000) as service:
+            with pytest.raises(AdmissionError) as info:
+                service.submit("SELECT g, x, o FROM t")
+            assert info.value.reason == "over_budget"
+            assert service.stats()["service"]["rejected"] == 1
+            # The service still accepts queries that fit.
+            tiny = service.submit("SELECT count(*) FROM t WHERE g = 99")
+            assert tiny.result(timeout=30).rows() == [(0,)]
+
+    def test_shutdown_rejects_new_queries(self):
+        db = make_db(rows=100)
+        service = service_for(db)
+        service.shutdown()
+        with pytest.raises(AdmissionError) as info:
+            service.submit("SELECT count(*) FROM t")
+        assert info.value.reason == "shutdown"
+
+    def test_parse_error_surfaces_on_submit(self):
+        db = make_db(rows=50)
+        with service_for(db) as service:
+            with pytest.raises(ReproError):
+                service.submit("SELEKT nonsense")
+
+
+# ---------------------------------------------------------------------------
+# Cancellation and timeouts
+# ---------------------------------------------------------------------------
+SLOW_SQL = (
+    "SELECT g, x, sum(x) OVER (PARTITION BY g ORDER BY o) AS c, "
+    "median(x) OVER (PARTITION BY g) AS m FROM t"
+)
+
+
+class TestCancellation:
+    def test_timeout_cancels_at_region_barrier(self):
+        db = make_db()
+        with service_for(db) as service:
+            ticket = service.submit(SLOW_SQL, timeout=1e-6)
+            with pytest.raises(QueryCancelled):
+                ticket.result(timeout=30)
+            assert ticket.state == "cancelled"
+            stats = service.stats()["service"]
+            assert stats["cancelled"] == 1
+            assert stats["timeouts"] == 1
+            # The service stays healthy: a follow-up query runs fine.
+            follow = service.submit("SELECT count(*) FROM t")
+            assert follow.result(timeout=30).rows() == [(3000,)]
+
+    def test_timeout_frees_spill_files(self, tmp_path):
+        db = make_db(rows=20000)
+        spill_config = db.config.clone(
+            memory_budget_bytes=2048, spill_directory=str(tmp_path)
+        )
+        # Sanity: this workload really spills when run to completion.
+        traced = db.sql(
+            "SELECT g, median(x) FROM t GROUP BY g",
+            config=spill_config.clone(collect_trace=True),
+        )
+        assert "spill" in [r.operator for r in traced.trace.records]
+        with service_for(db) as service:
+            ticket = service.submit(
+                SLOW_SQL, config=spill_config, timeout=0.02
+            )
+            with pytest.raises(QueryCancelled):
+                ticket.result(timeout=60)
+        # Cancellation ran the engine's cleanup path: nothing left on disk.
+        leftovers = [
+            os.path.join(root, name)
+            for root, _, names in os.walk(tmp_path)
+            for name in names
+        ]
+        assert leftovers == []
+
+    def test_cancel_queued_query(self):
+        db = make_db(rows=30000)
+        with service_for(db, max_concurrent=1) as service:
+            running = service.submit(SLOW_SQL, use_result_cache=False)
+            queued = service.submit(
+                "SELECT count(*) FROM t", use_result_cache=False
+            )
+            assert service.cancel(queued.query_id) is True
+            with pytest.raises(QueryCancelled):
+                queued.result(timeout=30)
+            assert queued.state == "cancelled"
+            # The running query is unaffected.
+            assert len(running.result(timeout=120).rows()) == 30000
+
+    def test_cancel_running_query(self):
+        db = make_db(rows=60000)
+        with service_for(db) as service:
+            ticket = service.submit(SLOW_SQL, use_result_cache=False)
+            deadline = time.monotonic() + 30
+            while ticket.state == "queued" and time.monotonic() < deadline:
+                time.sleep(0.001)
+            assert service.cancel(ticket.query_id) is True
+            with pytest.raises(QueryCancelled):
+                ticket.result(timeout=60)
+            assert ticket.state == "cancelled"
+
+    def test_cancel_unknown_id(self):
+        db = make_db(rows=10)
+        with service_for(db) as service:
+            assert service.cancel("q999") is False
+
+
+# ---------------------------------------------------------------------------
+# Result cache and invalidation
+# ---------------------------------------------------------------------------
+class TestResultCache:
+    def test_hit_returns_same_result_object(self):
+        db = make_db(rows=500)
+        with service_for(db) as service:
+            session = service.session()
+            first = session.execute("SELECT g, sum(x) FROM t GROUP BY g")
+            second = session.execute("SELECT g, sum(x) FROM t GROUP BY g")
+            assert second is first  # served from the result cache
+            assert service.stats()["service"]["result_cache_hits"] == 1
+
+    def test_dml_invalidates_result_cache(self):
+        db = make_db(rows=100)
+        with service_for(db) as service:
+            session = service.session()
+            sql = "SELECT count(*) FROM t"
+            assert session.execute(sql).rows() == [(100,)]
+            db.insert("t", {"g": [1], "x": [0.5], "o": [100]})
+            assert session.execute(sql).rows() == [(101,)]
+
+    def test_ddl_invalidates_result_cache(self):
+        db = make_db(rows=50)
+        with service_for(db) as service:
+            session = service.session()
+            sql = "SELECT count(*) FROM t"
+            session.execute(sql)
+            db.create_table("other", {"a": "int64"})  # bumps catalog version
+            session.execute(sql)
+            assert service.stats()["service"].get("result_cache_hits", 0) == 0
+
+    def test_opt_out_bypasses_cache(self):
+        db = make_db(rows=100)
+        with service_for(db) as service:
+            session = service.session()
+            sql = "SELECT g, sum(x) FROM t GROUP BY g"
+            first = session.execute(sql, use_result_cache=False)
+            second = session.execute(sql, use_result_cache=False)
+            assert second is not first
+            assert service.stats()["service"].get("result_cache_hits", 0) == 0
+
+    def test_engine_scoped_keys(self):
+        db = make_db(rows=100)
+        with service_for(db) as service:
+            session = service.session()
+            sql = "SELECT g, sum(x) FROM t GROUP BY g"
+            a = session.execute(sql, engine="lolepop")
+            b = session.execute(sql, engine="monolithic")
+            assert b is not a
+            assert normalized_rows(a) == normalized_rows(b)
+
+
+# ---------------------------------------------------------------------------
+# Sessions and prepared statements
+# ---------------------------------------------------------------------------
+class TestSessions:
+    def test_session_config_overrides(self):
+        db = make_db(rows=100)
+        with service_for(db) as service:
+            session = service.session(num_threads=3)
+            assert session.engine_config().num_threads == 3
+            assert db.config.num_threads == 2  # base config untouched
+            session.set_option(num_threads=5)
+            assert session.engine_config().num_threads == 5
+
+    def test_prepared_statements(self):
+        db = make_db(rows=200)
+        with service_for(db) as service:
+            session = service.session()
+            session.prepare("topg", "SELECT g, sum(x) FROM t GROUP BY g")
+            assert session.prepared_names() == ["topg"]
+            expected = db.sql("SELECT g, sum(x) FROM t GROUP BY g").rows()
+            assert session.execute_prepared("topg").rows() == expected
+            with pytest.raises(ReproError):
+                session.execute_prepared("missing")
+
+    def test_closed_session_rejects_submissions(self):
+        db = make_db(rows=10)
+        with service_for(db) as service:
+            session = service.session()
+            session.close()
+            with pytest.raises(ReproError):
+                session.execute("SELECT count(*) FROM t")
+
+    def test_default_timeout_applies(self):
+        db = make_db(rows=30000)
+        with service_for(db) as service:
+            session = service.session(default_timeout=1e-6)
+            with pytest.raises(QueryCancelled):
+                session.execute(SLOW_SQL)
+
+
+# ---------------------------------------------------------------------------
+# Catalog versioning (plan/result-cache invalidation signal)
+# ---------------------------------------------------------------------------
+class TestCatalogVersion:
+    def test_ddl_and_dml_bump_version(self):
+        db = Database()
+        v0 = db.catalog.version
+        db.create_table("a", {"x": "int64"})
+        v1 = db.catalog.version
+        assert v1 > v0
+        db.insert("a", {"x": [1, 2, 3]})
+        v2 = db.catalog.version
+        assert v2 > v1
+        db.table("a").truncate()
+        v3 = db.catalog.version
+        assert v3 > v2
+        db.drop_table("a")
+        assert db.catalog.version > v3
+
+    def test_reads_do_not_bump_version(self):
+        db = make_db(rows=50)
+        before = db.catalog.version
+        db.sql("SELECT g, sum(x) FROM t GROUP BY g")
+        assert db.catalog.version == before
+
+
+# ---------------------------------------------------------------------------
+# Differential: service results are byte-identical to direct execution
+# ---------------------------------------------------------------------------
+DIFF_QUERIES = [
+    "SELECT g, median(x), sum(x) FROM t GROUP BY g",
+    "SELECT g, percentile_disc(0.25) WITHIN GROUP (ORDER BY x) FROM t "
+    "GROUP BY g",
+    "SELECT count(*) FROM t WHERE g < 3",
+    "SELECT g, x, o FROM t ORDER BY x, o LIMIT 7",
+    "SELECT g, o, sum(x) OVER (PARTITION BY g ORDER BY o) AS c FROM t "
+    "ORDER BY o LIMIT 11",
+    "SELECT t1.g, count(*) FROM t t1 JOIN t t2 "
+    "ON t1.o = t2.o AND t1.g < 2 GROUP BY t1.g",
+]
+
+
+class TestConcurrentDifferential:
+    @pytest.mark.parametrize("caches", ["on", "off"])
+    def test_eight_clients_byte_identical(self, caches):
+        db = make_db(rows=1500, plan_cache_size=256 if caches == "on" else 0)
+        # References from the plain single-caller API, identical config.
+        expected = {sql: db.sql(sql).rows() for sql in DIFF_QUERIES}
+        mismatches = []
+        errors = []
+        use_result_cache = caches == "on"
+
+        with service_for(
+            db,
+            max_concurrent=4,
+            max_queue=256,
+            result_cache_size=64 if use_result_cache else 0,
+        ) as service:
+
+            def client(index):
+                session = service.session()
+                rng = np.random.default_rng(index)
+                try:
+                    for _ in range(8):
+                        sql = DIFF_QUERIES[
+                            int(rng.integers(len(DIFF_QUERIES)))
+                        ]
+                        rows = session.execute(
+                            sql,
+                            timeout=120,
+                            use_result_cache=use_result_cache,
+                        ).rows()
+                        if rows != expected[sql]:
+                            mismatches.append(sql)
+                except Exception as error:  # noqa: BLE001
+                    errors.append(repr(error))
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=180)
+            assert not any(t.is_alive() for t in threads), "client deadlock"
+        assert errors == []
+        assert mismatches == []
+
+    def test_tpch_under_concurrency(self, tpch_db):
+        from repro.tpch import TPCH_QUERIES
+
+        queries = [
+            TPCH_QUERIES["q1"],
+            TPCH_QUERIES["q6"],
+            "SELECT o_orderpriority, count(*) FROM orders "
+            "GROUP BY o_orderpriority",
+            "SELECT l_returnflag, median(l_extendedprice) FROM lineitem "
+            "GROUP BY l_returnflag",
+        ]
+        expected = {sql: tpch_db.sql(sql).rows() for sql in queries}
+        failures = []
+        with service_for(tpch_db, max_concurrent=4, max_queue=256) as service:
+
+            def client(index):
+                session = service.session()
+                try:
+                    for round_no in range(4):
+                        sql = queries[(index + round_no) % len(queries)]
+                        rows = session.execute(sql, timeout=120).rows()
+                        if rows != expected[sql]:
+                            failures.append(("mismatch", sql))
+                except Exception as error:  # noqa: BLE001
+                    failures.append(("error", repr(error)))
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=180)
+            assert not any(t.is_alive() for t in threads), "client deadlock"
+        assert failures == []
+
+
+# ---------------------------------------------------------------------------
+# Metrics primitives under contention (GLOBAL_METRICS hammer)
+# ---------------------------------------------------------------------------
+class TestMetricsThreadSafety:
+    N_THREADS = 8
+    N_OPS = 2000
+
+    def _hammer(self, fn):
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def work():
+            barrier.wait()
+            for _ in range(self.N_OPS):
+                fn()
+
+        threads = [
+            threading.Thread(target=work) for _ in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_counter_no_lost_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hammer.count")
+        self._hammer(lambda: counter.inc())
+        assert counter.value == self.N_THREADS * self.N_OPS
+
+    def test_gauge_add_no_lost_updates(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("hammer.gauge")
+        self._hammer(lambda: gauge.add(1.0))
+        assert gauge.value == self.N_THREADS * self.N_OPS
+
+    def test_histogram_consistent_totals(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("hammer.hist")
+        self._hammer(lambda: histogram.observe(0.001))
+        expected = self.N_THREADS * self.N_OPS
+        assert histogram.total == expected
+        assert sum(histogram.counts) == expected
+        assert histogram.sum == pytest.approx(0.001 * expected)

@@ -159,3 +159,96 @@ class TestSpillingEndToEnd:
         db.sql("SELECT g, median(x) FROM t GROUP BY g", config=config)
         # All per-partition files were released after loading.
         assert os.listdir(str(tmp_path)) == []
+
+
+class TestConcurrentSpilling:
+    """Several queries spilling at once into one configured spill root
+    (each query's SpillManager isolates itself in a private subdirectory,
+    so concurrent part files never collide)."""
+
+    QUERIES = TestSpillingEndToEnd.QUERIES
+
+    @pytest.fixture
+    def db(self):
+        database = Database(num_threads=2)
+        database.create_table("t", {"g": "int64", "x": "float64", "o": "int64"})
+        rng = np.random.default_rng(5)
+        n = 4000
+        database.insert(
+            "t",
+            {
+                "g": rng.integers(0, 6, n),
+                "x": rng.random(n).round(4),
+                "o": rng.permutation(n),
+            },
+        )
+        return database
+
+    def test_managers_sharing_a_root_do_not_collide(self, tmp_path):
+        from repro.storage.spill import SpillManager
+
+        a = SpillManager(str(tmp_path))
+        b = SpillManager(str(tmp_path))
+        path_a = a.write_batch(make_batch(20, seed=1))
+        path_b = b.write_batch(make_batch(20, seed=2))
+        assert path_a != path_b  # both are "part-000001.npz" by counter
+        assert a.read_batch(path_a, SCHEMA).to_pydict() != b.read_batch(
+            path_b, SCHEMA
+        ).to_pydict()
+        a.cleanup()
+        # b's file survives a's cleanup.
+        assert os.path.exists(path_b)
+        b.cleanup()
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_concurrent_queries_spill_correctly(self, db, tmp_path):
+        from repro import QueryService, ServiceConfig
+
+        expected = {sql: normalized_rows(db.sql(sql)) for sql in self.QUERIES}
+        config = EngineConfig(
+            num_threads=2,
+            num_partitions=8,
+            memory_budget_bytes=4096,
+            spill_directory=str(tmp_path),
+        )
+        service = QueryService(db, ServiceConfig(max_concurrent=3))
+        try:
+            tickets = [
+                service.submit(sql, config=config, use_result_cache=False)
+                for sql in self.QUERIES * 2
+            ]
+            # max_concurrent=3 over 10 submissions: queries overlap.
+            for ticket, sql in zip(tickets, self.QUERIES * 2):
+                result = ticket.result(timeout=120)
+                assert normalized_rows(result) == expected[sql], sql
+        finally:
+            service.shutdown()
+        # Every query cleaned up its private spill subdirectory.
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_concurrent_spilling_actually_spills(self, db, tmp_path):
+        from repro import QueryService, ServiceConfig
+
+        config = EngineConfig(
+            num_threads=2,
+            num_partitions=8,
+            memory_budget_bytes=1024,
+            spill_directory=str(tmp_path),
+            collect_trace=True,
+        )
+        service = QueryService(db, ServiceConfig(max_concurrent=2))
+        try:
+            tickets = [
+                service.submit(
+                    "SELECT g, median(x) FROM t GROUP BY g",
+                    config=config,
+                    use_result_cache=False,
+                )
+                for _ in range(2)
+            ]
+            results = [t.result(timeout=120) for t in tickets]
+        finally:
+            service.shutdown()
+        for result in results:
+            assert "spill" in [r.operator for r in result.trace.records]
+        assert os.listdir(str(tmp_path)) == []
