@@ -15,7 +15,7 @@ import os
 
 import pytest
 
-from repro import Database, EngineConfig
+from repro import Database
 from repro.bench import format_modes_row, measure_modes
 from repro.tpch import populate_database
 

@@ -16,7 +16,7 @@ import pytest
 
 from repro.bench import TABLE2_QUERIES
 
-from conftest import MANY_THREADS, run_once
+from conftest import run_once
 
 ENGINE_LABELS = {
     "monolithic": "HyPer-like",

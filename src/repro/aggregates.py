@@ -21,7 +21,7 @@ arbitrary group element (used to make DISTINCT inputs unique).
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from .errors import BindError
 from .expr.nodes import Expr

@@ -14,7 +14,7 @@ Example::
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional, Sequence, Union
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -263,3 +263,32 @@ class Database:
         """The LOLEPOP DAG of the query's top statistics region."""
         engine = LolepopEngine(self.catalog, self.config)
         return engine.explain(self.plan(query))
+
+    def verify_plan(self, query: str) -> str:
+        """Statically verify the LOLEPOP DAG of the query's top statistics
+        region and return a report: the annotated DAG plus either ``plan
+        verified: ok`` or every verifier diagnostic. Never executes the
+        query (shell ``.verify`` command)."""
+        from .lolepop.engine import statistics_region
+        from .lolepop.translate import translate_statistics
+        from .lolepop.verify import check_dag
+
+        region = statistics_region(self.plan(query))
+        if region is None:
+            return "(no statistics region — nothing for the verifier to check)"
+        # Translation would already raise under verify_plans != "off"; run
+        # it unverified here so .verify can render the diagnostics itself.
+        config = self.config.clone(verify_plans="off")
+        dag = translate_statistics(region, lambda p: [], config)
+        diagnostics, _ = check_dag(dag, require_rebindable=True)
+        lines = [dag.explain(), ""]
+        if diagnostics:
+            ids = {id(n): i for i, n in enumerate(dag.topological_order())}
+            lines.append(f"plan verification failed: {len(diagnostics)} diagnostic(s)")
+            lines.extend("  " + d.render(ids) for d in diagnostics)
+        else:
+            lines.append(
+                "plan verified: ok (structure, physical properties, "
+                "buffer-race freedom, rebindable sources)"
+            )
+        return "\n".join(lines)

@@ -29,7 +29,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..aggregates import AggregateCall, FrameSpec, WindowCall
-from ..errors import ExecutionError, NotSupportedError
 from ..execution.context import EngineConfig, ExecutionContext
 from ..expr.eval import infer_dtype
 from ..expr.nodes import ColumnRef

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..aggregates import AggregateCall, FrameBound, FrameSpec, WindowCall
 from ..errors import ExecutionError, NotSupportedError

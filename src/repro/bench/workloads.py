@@ -7,7 +7,7 @@ Column-letter legend of Table 3 (paper §5.1):
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 # ----------------------------------------------------------------------
 # Table 2: simple aggregates (HyPer vs PostgreSQL vs MonetDB)

@@ -8,7 +8,6 @@ and returns a result node; none of them touch operator logic.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 from ..aggregates import FrameBound, FrameSpec
 from .planner import AggregatePlanner, Node, NodeLike

@@ -9,7 +9,7 @@ composed statistics share primitives.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..expr.eval import columns_referenced
 from ..logical import Aggregate, LogicalPlan, Project, Window

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..aggregates import AggregateCall, FrameSpec, WindowCall
 from ..errors import BindError
-from ..expr.nodes import BinaryOp, Cast, ColumnRef, Expr, FuncCall, Literal, ensure_expr
+from ..expr.nodes import BinaryOp, Cast, ColumnRef, Expr, FuncCall, ensure_expr
 from ..logical import LogicalPlan
 from ..logical.assemble import assemble_grouped
 from ..types import DataType

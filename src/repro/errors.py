@@ -51,6 +51,19 @@ class PlanError(ReproError):
     """Raised when a logical plan cannot be translated to LOLEPOPs."""
 
 
+class PlanVerificationError(PlanError):
+    """Raised when the static plan verifier rejects a LOLEPOP DAG.
+
+    Carries the full list of
+    :class:`~repro.lolepop.verify.Diagnostic` objects so callers (tests,
+    the shell's ``.verify`` command) can inspect individual findings.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+
+
 class ExecutionError(ReproError):
     """Raised when a plan fails during execution (e.g. division by zero in
     strict mode, buffer misuse)."""

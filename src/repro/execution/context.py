@@ -15,6 +15,13 @@ from .trace import ExecutionTrace
 #: hardware.
 EXECUTION_MODES = ("simulated", "parallel")
 
+#: ``off`` — no verification (one guard branch per DAG build).
+#: ``on`` — structural + property verification after translation.
+#: ``strict`` — additionally after every optimizer rewrite pass (failures
+#: attributed to the pass that fired), at plan-cache template insert, and
+#: on every cache-hit clone after SOURCE rebinding.
+VERIFY_MODES = ("off", "on", "strict")
+
 
 class EngineConfig:
     """Tunables shared by all engines.
@@ -47,11 +54,22 @@ class EngineConfig:
         cost_based_distinct: bool = False,
         # --- service layer -------------------------------------------------
         cancellation=None,
+        # --- static plan verifier ------------------------------------------
+        verify_plans: Optional[str] = None,
     ):
         if execution_mode not in EXECUTION_MODES:
             raise ValueError(
                 f"unknown execution_mode {execution_mode!r}; "
                 f"choose from {EXECUTION_MODES}"
+            )
+        if verify_plans is None:
+            import os
+
+            verify_plans = os.environ.get("REPRO_VERIFY_PLANS", "off")
+        if verify_plans not in VERIFY_MODES:
+            raise ValueError(
+                f"unknown verify_plans {verify_plans!r}; "
+                f"choose from {VERIFY_MODES}"
             )
         self.num_threads = num_threads
         self.num_partitions = num_partitions
@@ -84,6 +102,12 @@ class EngineConfig:
         #: schedulers check it when entering every region barrier, raising
         #: :class:`~repro.errors.QueryCancelled` on cancel/timeout.
         self.cancellation = cancellation
+        #: Static plan verifier mode (see :data:`VERIFY_MODES`). ``None``
+        #: resolves from ``REPRO_VERIFY_PLANS`` (default ``off``); the test
+        #: suite and CI set ``on``. Deliberately *not* part of
+        #: :meth:`translation_fingerprint`: it changes what is checked, not
+        #: the DAG that is built.
+        self.verify_plans = verify_plans
 
     def translation_fingerprint(self) -> tuple:
         """Hashable summary of every knob that influences logical-plan →

@@ -18,7 +18,7 @@ sorting collapse (Table 3, queries 7/12/15).
 from __future__ import annotations
 
 import time
-from typing import Callable, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Callable, List, NamedTuple, Optional, Sequence
 
 from .trace import ExecutionTrace, RegionSpan, TraceRecord
 

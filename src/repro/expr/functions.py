@@ -12,7 +12,7 @@ NULL wherever any argument is NULL — so kernels only see the value arrays.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List
 
 import numpy as np
 

@@ -18,7 +18,7 @@ These helpers build that stack.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..aggregates import AggregateCall, WindowCall
 from ..errors import BindError

@@ -13,7 +13,7 @@ future-work cost-based DAG decisions.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from ..expr.nodes import (
     BinaryOp,

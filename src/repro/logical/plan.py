@@ -12,7 +12,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..aggregates import AggregateCall, WindowCall
 from ..errors import PlanError
 from ..expr.eval import infer_dtype
-from ..expr.nodes import ColumnRef, Expr
+from ..expr.nodes import Expr
 from ..types import DataType, Field, Schema
 
 

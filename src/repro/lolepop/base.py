@@ -29,6 +29,11 @@ class Lolepop:
     #: 'stream' or 'buffer' — for explain output (Table 1's arrows).
     consumes = "stream"
     produces = "stream"
+    #: Does ``execute`` mutate its input TupleBuffer in place (SORT
+    #: reorders, WINDOW appends columns)? Must agree with the operator's
+    #: contract in :mod:`repro.lolepop.properties`; checked at registration
+    #: time and by ``tools/lint_engine.py``.
+    mutates_input = False
 
     def __init__(self, inputs: Sequence["Lolepop"] = ()):
         self.inputs: List[Lolepop] = list(inputs)
@@ -40,7 +45,13 @@ class Lolepop:
         self.stats = None
 
     def name(self) -> str:
-        return type(self).__name__.replace("Op", "").upper()
+        """EXPLAIN's operator legend, resolved through the contract
+        registry so the legend and the verifier can never drift apart (an
+        operator class without a contract raises
+        :class:`~repro.errors.PlanError`)."""
+        from .properties import operator_name
+
+        return operator_name(type(self))
 
     def describe(self) -> str:
         """One-line parameter summary for explain output."""
@@ -73,9 +84,6 @@ class SourceOp(Lolepop):
         #: Logical plan this source evaluates, when known — lets EXPLAIN
         #: ANALYZE estimate the source cardinality.
         self.plan = plan
-
-    def name(self) -> str:
-        return "SOURCE"
 
     def describe(self) -> str:
         return self._label
@@ -230,9 +238,17 @@ class Dag:
 
     # ------------------------------------------------------------------
     def explain(self) -> str:
-        """Stable ASCII rendering (used by plan-shape golden tests)."""
+        """Stable ASCII rendering (used by plan-shape golden tests).
+
+        Each line ends with the node's statically derived physical
+        properties in braces (partitioning / per-partition ordering /
+        known-unique keys) when the verifier can derive any.
+        """
+        from .verify import derive_properties
+
         order = self.topological_order()
         ids = {id(node): i for i, node in enumerate(order)}
+        derived = derive_properties(self)
         lines = []
         for node in order:
             deps = ",".join(f"#{ids[id(i)]}" for i in node.inputs)
@@ -243,10 +259,13 @@ class Dag:
                 if node.after
                 else ""
             )
+            props = derived.get(id(node))
+            note = props.render() if props is not None else ""
             lines.append(
                 f"#{ids[id(node)]} {node.name()}{extra}{arrow}"
                 + (f" <- {deps}" if deps else "")
                 + after
+                + (f"  {{{note}}}" if note else "")
             )
         return "\n".join(lines)
 

@@ -95,6 +95,21 @@ class QueryResult:
         return len(self.batch)
 
 
+def statistics_region(plan: LogicalPlan) -> Optional[LogicalPlan]:
+    """The topmost statistics region of ``plan`` (the subtree the LOLEPOP
+    translator handles), unwrapping leading Project/Filter nodes; ``None``
+    when the query has no Aggregate/Window/Sort/Limit region. Shared by
+    :meth:`LolepopEngine.explain` and ``Database.verify_plan``."""
+    from ..logical import Filter, Project
+
+    node = plan
+    while isinstance(node, (Project, Filter)):
+        node = node.children[0]
+    if isinstance(node, (Aggregate, Window, Sort, Limit)):
+        return node
+    return None
+
+
 class LolepopEngine:
     """Executes logical plans using LOLEPOP DAGs for all statistics."""
 
@@ -179,12 +194,8 @@ class LolepopEngine:
     def explain(self, plan: LogicalPlan) -> str:
         """Translate the topmost statistics region without executing it and
         render the DAG (golden-test hook)."""
-        node = plan
-        from ..logical import Filter, Project
-
-        while isinstance(node, (Project, Filter)):
-            node = node.children[0]
-        if not isinstance(node, (Aggregate, Window, Sort, Limit)):
+        node = statistics_region(plan)
+        if node is None:
             return "(no statistics region)"
         dag = translate_statistics(node, lambda p: [], self.config)
         return dag.explain()
@@ -234,10 +245,13 @@ class _Runner:
             )
             if self._prepared is not None:
                 # Store a pristine template (cloned before execution can
-                # mutate node state) for future runs of this statement.
-                self._prepared.dag_templates[
-                    (self._fingerprint, self._region_seq - 1)
-                ] = dag.clone()
+                # mutate node state) for future runs of this statement;
+                # strict mode verifies the template at insert time.
+                self._prepared.store_template(
+                    (self._fingerprint, self._region_seq - 1),
+                    dag,
+                    self.ctx.config,
+                )
         self.dags.append(dag)
         result = dag.execute(self.ctx)
         if isinstance(result, TupleBuffer):
@@ -263,6 +277,10 @@ class _Runner:
         for node in dag.nodes:
             if isinstance(node, SourceOp):
                 node.rebind(self.execute_stream)
+        if self.ctx.config.verify_plans == "strict":
+            from .verify import verify_dag
+
+            verify_dag(dag, context="plan-cache hit (cloned template)")
         if self.ctx.profile is not None:
             self.ctx.profile.count("plan_cache.dag_reuse")
         return dag

@@ -17,7 +17,6 @@ from typing import List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
-from ..errors import ExecutionError
 from ..execution.context import ExecutionContext
 from ..relational.kernels import MERGE_FUNC, grouped_reduce
 from ..storage.batch import Batch

@@ -17,7 +17,7 @@ passes here operate on the built DAG:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..execution.context import EngineConfig
 from .base import Dag, Lolepop
@@ -30,15 +30,31 @@ from .window_op import WindowOp
 def optimize(dag: Dag, config: EngineConfig) -> None:
     """Run all enabled passes in place; record fired passes in
     ``dag.rewrites`` so EXPLAIN ANALYZE and query profiles can show which
-    step-E decisions actually applied."""
+    step-E decisions actually applied.
+
+    Under ``verify_plans="strict"`` the DAG is re-verified after every
+    pass that fired, so a plan-breaking rewrite is attributed to the pass
+    (via the entry it just appended to ``dag.rewrites``) instead of
+    surfacing as a confusing post-translation failure.
+    """
     if config.elide_sorts:
         count = elide_redundant_sorts(dag)
         if count:
             dag.rewrites.append(f"elide_redundant_sorts x{count}")
+            _verify_after_pass(dag, config)
     if config.remove_redundant_combines:
         count = remove_redundant_combines(dag)
         if count:
             dag.rewrites.append(f"remove_redundant_combines x{count}")
+            _verify_after_pass(dag, config)
+
+
+def _verify_after_pass(dag: Dag, config: EngineConfig) -> None:
+    if config.verify_plans != "strict":
+        return
+    from .verify import verify_dag
+
+    verify_dag(dag, context=f"optimizer pass {dag.rewrites[-1]}")
 
 
 def remove_redundant_combines(dag: Dag) -> int:

@@ -14,9 +14,8 @@ in-place modification (SORT does).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-import numpy as np
 
 from ..execution.context import ExecutionContext
 from ..storage.batch import Batch

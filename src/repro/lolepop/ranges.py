@@ -6,7 +6,7 @@ in a sorted partition. This module computes the run boundaries vectorized.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

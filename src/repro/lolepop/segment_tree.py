@@ -18,7 +18,7 @@ masking by aggregating a parallel 0/1 validity array with ``sum``.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+from typing import List
 
 import numpy as np
 

@@ -96,6 +96,7 @@ class PartitionSortTask(SplittableTask):
 class SortOp(Lolepop):
     consumes = "buffer"
     produces = "buffer"
+    mutates_input = True  # reorders the shared buffer in place
 
     def __init__(
         self,

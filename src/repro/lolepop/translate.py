@@ -81,6 +81,10 @@ def translate_statistics(
     dag = translator.translate(plan)
     dag.region_plan = plan
     optimizer.optimize(dag, config)
+    if config.verify_plans != "off":
+        from .verify import verify_dag
+
+        verify_dag(dag, context="translate")
     return dag
 
 

@@ -18,7 +18,7 @@ materialize them so later SORT/ORDAGG can use them as keys).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,7 +30,7 @@ from ..expr.nodes import Expr
 from ..storage.batch import Batch
 from ..storage.buffer import TupleBuffer
 from ..storage.column import Column
-from ..types import DataType, Schema
+from ..types import DataType
 from .base import Lolepop, OpResult
 from .ranges import key_change_flags, ranges_of
 from .segment_tree import PrefixSums, SparseTable
@@ -39,6 +39,7 @@ from .segment_tree import PrefixSums, SparseTable
 class WindowOp(Lolepop):
     consumes = "buffer"
     produces = "buffer"
+    mutates_input = True  # appends the call columns to the shared buffer
 
     def __init__(
         self,

@@ -129,7 +129,10 @@ def render_analyze(result, catalog, config) -> str:
     total_time = profile.total_operator_time() or 1.0
     worst: Optional[tuple] = None  # (q, label)
     for dag_index, dag in enumerate(profile.dags):
+        from ..lolepop.verify import derive_properties
+
         estimates = estimate_dag_rows(dag, estimator)
+        derived = derive_properties(dag)
         order = dag.topological_order()
         ids = {id(node): i for i, node in enumerate(order)}
         if len(profile.dags) > 1:
@@ -172,6 +175,10 @@ def render_analyze(result, catalog, config) -> str:
                 )
             for key, value in sorted(stats.extra.items()):
                 parts.append(f"{key}={value}")
+            props = derived.get(id(node))
+            note = props.render() if props is not None else ""
+            if note:
+                parts.append("{" + note + "}")
             lines.append(head + "  " + " ".join(parts))
 
     if worst is not None:

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
-import numpy as np
 
 from ..errors import ExecutionError
 from ..execution.context import ExecutionContext

@@ -10,15 +10,13 @@ NULL join keys never match (SQL equality semantics).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import ExecutionError
 from ..storage.batch import Batch
 from ..storage.column import Column
 from ..storage.keys import _normalize_values
-from ..types import DataType, Schema
 
 
 def _composite(columns: Sequence[Column]) -> Tuple[np.ndarray, np.ndarray]:

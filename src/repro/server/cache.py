@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
 
 def normalize_sql(text: str) -> str:
@@ -106,6 +106,26 @@ class PreparedPlan:
         self.cacheable = cacheable
         self.dag_templates: Dict[Tuple, object] = {}
         self.executions = 0
+
+    def store_template(self, key: Tuple, dag, config) -> None:
+        """Insert a pristine clone of ``dag`` as the template for ``key``.
+
+        Under ``verify_plans="strict"`` the clone is verified *at insert
+        time* — including that every SOURCE still carries the logical plan
+        :meth:`~repro.lolepop.base.SourceOp.rebind` needs — so a broken
+        template is rejected here, where it is attributable, instead of
+        failing on some later cache hit.
+        """
+        template = dag.clone()
+        if getattr(config, "verify_plans", "off") == "strict":
+            from ..lolepop.verify import verify_dag
+
+            verify_dag(
+                template,
+                require_rebindable=True,
+                context="plan-cache template insert",
+            )
+        self.dag_templates[key] = template
 
 
 class _LruCache:

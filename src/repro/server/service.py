@@ -38,11 +38,11 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional
 
-from ..errors import AdmissionError, QueryCancelled, ReproError
+from ..errors import AdmissionError, QueryCancelled
 from ..execution.cancellation import CancellationToken
 from ..observability.metrics import GLOBAL_METRICS, MetricsRegistry
 from .admission import AdmissionController, estimate_memory_bytes
-from .cache import ResultCache, normalize_sql
+from .cache import ResultCache
 from .session import Session
 
 #: Histogram bounds for queue-wait times: finer than the default latency

@@ -13,6 +13,7 @@ commands:
     .explain <sql>             show the logical plan
     .lolepop <sql>             show the LOLEPOP DAG
     .analyze <sql>             EXPLAIN ANALYZE: run and annotate the DAG
+    .verify <sql>              statically verify the LOLEPOP DAG (no execution)
     .trace <sql>               run with trace collection and render it
     .trace json <path> <sql>   export the trace as Chrome trace_event JSON
     .profile <sql>             per-operator work breakdown
@@ -130,6 +131,8 @@ class Shell:
                     self.db.explain_analyze(argument, config=self._config())
                 )
             )
+        elif command == ".verify":
+            self._guarded(lambda: self.write(self.db.verify_plan(argument)))
         elif command == ".trace":
             self._trace(argument)
         elif command == ".profile":

@@ -9,7 +9,7 @@ BETWEEN, qualified names, and ``*``.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 
 # ----------------------------------------------------------------------

@@ -38,7 +38,7 @@ from ..aggregates import (
 )
 from ..errors import BindError, NotSupportedError
 from ..expr import functions as scalar_functions
-from ..expr.eval import columns_referenced, infer_dtype
+from ..expr.eval import infer_dtype
 from ..expr.nodes import (
     BinaryOp,
     CaseExpr,
@@ -66,7 +66,7 @@ from ..logical import (
 )
 from ..logical.assemble import assemble_grouped, attach_window_stage
 from ..storage.table import Catalog
-from ..types import DataType, date_to_days, parse_type
+from ..types import DataType, parse_type
 from . import ast as sql_ast
 
 

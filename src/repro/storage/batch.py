@@ -7,7 +7,7 @@ lists of batches; a batch corresponds to a morsel of the input.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Iterator, List, Sequence, Tuple
 
 import numpy as np
 

@@ -11,7 +11,7 @@ on "mask or no mask" more than once.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence, Union
+from typing import Any, Iterable, List, Optional, Sequence
 
 import numpy as np
 

@@ -19,7 +19,6 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..errors import ExecutionError
 from ..types import DataType, Schema
 from .batch import Batch
 from .column import Column

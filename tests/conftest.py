@@ -2,8 +2,15 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+# Every DAG the suite builds doubles as a zero-false-positive sweep for the
+# static plan verifier: verify at translate time unless a test overrides
+# the mode explicitly (EngineConfig reads this at construction).
+os.environ.setdefault("REPRO_VERIFY_PLANS", "on")
 
 from repro import Database, EngineConfig
 from repro.tpch import populate_database

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro import Database, EngineConfig
-from repro.tpch import populate_database
 
 from tests.helpers import normalized_rows
 

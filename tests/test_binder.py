@@ -4,18 +4,7 @@ import pytest
 
 from repro.errors import BindError, NotSupportedError
 from repro.expr.nodes import ColumnRef
-from repro.logical import (
-    Aggregate,
-    Filter,
-    Join,
-    JoinKind,
-    Limit,
-    Project,
-    Scan,
-    Sort,
-    UnionAll,
-    Window,
-)
+from repro.logical import Aggregate, Filter, Join, JoinKind, Limit, Project, Sort, UnionAll, Window
 from repro.sql import bind, parse_sql
 from repro.storage import Catalog
 from repro.types import DataType

@@ -1,6 +1,5 @@
 """Unit tests for the tuple buffer (the paper's central data structure)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Direct tests of the compute LOLEPOPs (HASHAGG / ORDAGG / WINDOW)."""
 
-import numpy as np
 import pytest
 
 from repro.aggregates import FrameBound, FrameSpec, WindowCall

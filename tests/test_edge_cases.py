@@ -3,12 +3,11 @@ boundary frames, and odd-but-legal SQL."""
 
 import datetime
 
-import numpy as np
 import pytest
 
 from repro import Database, EngineConfig
 
-from tests.helpers import assert_engines_agree, normalized_rows
+from tests.helpers import assert_engines_agree
 
 
 @pytest.fixture

@@ -6,7 +6,7 @@ import pytest
 
 from repro import Database, EngineConfig
 
-from tests.helpers import ENGINES, assert_engines_agree
+from tests.helpers import assert_engines_agree
 
 FIXED_QUERIES = [
     # associative flavors

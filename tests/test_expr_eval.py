@@ -3,29 +3,12 @@
 
 import datetime
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import BindError
-from repro.expr import (
-    BinaryOp,
-    CaseExpr,
-    Cast,
-    ColumnRef,
-    FuncCall,
-    InList,
-    IsNull,
-    Literal,
-    UnaryOp,
-    col,
-    evaluate,
-    evaluate_row,
-    infer_dtype,
-    lit,
-    columns_referenced,
-)
+from repro.expr import BinaryOp, CaseExpr, Cast, ColumnRef, FuncCall, InList, IsNull, UnaryOp, col, evaluate, evaluate_row, infer_dtype, lit, columns_referenced
 from repro.storage import Batch
 from repro.types import DataType, Schema
 

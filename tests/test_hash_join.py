@@ -1,7 +1,5 @@
 """Tests for the vectorized hash join."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import LexError
-from repro.sql import Token, TokenType, tokenize
+from repro.sql import TokenType, tokenize
 
 
 def kinds(text):

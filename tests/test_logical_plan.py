@@ -1,7 +1,6 @@
 """Direct unit tests of logical plan nodes (schema propagation, labels,
 validation) and a property test of the MERGE operator's two-way merge."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

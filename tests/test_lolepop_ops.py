@@ -1,7 +1,5 @@
 """Direct tests of the transform LOLEPOPs (PARTITION/SORT/MERGE/SCAN/COMBINE)."""
 
-import numpy as np
-import pytest
 
 from repro.execution import EngineConfig, ExecutionContext
 from repro.expr.nodes import ColumnRef

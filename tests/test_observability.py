@@ -8,7 +8,7 @@ import pytest
 from repro import Database
 from repro.errors import ReproError
 from repro.execution.context import EngineConfig
-from repro.execution.trace import ExecutionTrace, RegionSpan, TraceRecord
+from repro.execution.trace import ExecutionTrace, TraceRecord
 from repro.observability import (
     GLOBAL_METRICS,
     Counter,

@@ -9,7 +9,7 @@ import numpy as np
 
 import repro.api
 import repro.lolepop.engine
-from repro import Database, EngineConfig
+from repro import Database
 from repro.server.cache import (
     PlanCache,
     PreparedPlan,

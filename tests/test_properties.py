@@ -1,7 +1,5 @@
 """Property-based (hypothesis) tests on end-to-end engine behavior."""
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Tests for the relational pipeline executor (scan/filter/project fusion,
 joins, union) used underneath every statistics region."""
 
-import numpy as np
 import pytest
 
 from repro.execution import EngineConfig, ExecutionContext

@@ -10,14 +10,7 @@ import time
 import numpy as np
 import pytest
 
-from repro import (
-    AdmissionError,
-    Database,
-    EngineConfig,
-    QueryCancelled,
-    QueryService,
-    ServiceConfig,
-)
+from repro import AdmissionError, Database, QueryCancelled, QueryService, ServiceConfig
 from repro.errors import ReproError
 from repro.observability.metrics import MetricsRegistry
 from repro.server.admission import AdmissionController, estimate_memory_bytes

@@ -1,12 +1,11 @@
 """Tests for RANGE frames (peer-aware) and IN (subquery) support."""
 
-import numpy as np
 import pytest
 
 from repro import Database
 from repro.errors import BindError, NotSupportedError
 
-from tests.helpers import assert_engines_agree, normalized_rows
+from tests.helpers import assert_engines_agree
 
 
 @pytest.fixture

@@ -142,7 +142,6 @@ class TestCostModel:
 
 class TestCostBasedPlans:
     def plan_ops(self, db, sql, **flags):
-        from repro.lolepop import LolepopEngine
         from repro.logical.cardinality import CardinalityEstimator
         from repro.lolepop.translate import translate_statistics
         from repro.logical import Project, Filter

@@ -1,11 +1,9 @@
 """Tests for the TPC-H substrate: generator invariants and query results."""
 
-import datetime
 
 import numpy as np
 import pytest
 
-from repro import Database
 from repro.tpch import FIGURE7_VARIANTS, TPCH_QUERIES, generate_tpch
 from repro.tpch.queries import QUERY_TABLES
 

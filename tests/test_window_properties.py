@@ -1,8 +1,6 @@
 """Property-based window-function tests: the vectorized WINDOW operator vs
 the naive per-row oracle on random data, frames, and orderings."""
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
