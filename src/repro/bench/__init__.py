@@ -1,8 +1,12 @@
-"""Benchmark workload definitions and the reporting harness.
+"""Benchmark workload definitions, the reporting harness, and snapshots.
 
 One module per concern: :mod:`~repro.bench.workloads` holds every query of
-the paper's evaluation (Tables 2/3, Figures 7/8); :mod:`~repro.bench.harness`
-runs them on configured engines and prints the paper-shaped rows.
+the paper's evaluation (Tables 2/3, Figures 7/8);
+:mod:`~repro.bench.corpora` adds the self-verifying decision-support and
+sensor/edge workload families; :mod:`~repro.bench.harness` runs queries on
+configured engines and prints the paper-shaped rows;
+:mod:`~repro.bench.snapshot` persists ``BENCH_<pr>.json`` trajectories and
+gates regressions between them.
 """
 
 from .workloads import (

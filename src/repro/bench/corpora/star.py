@@ -1,0 +1,252 @@
+"""Decision-support corpus: a seeded star-schema generator plus a family
+of CTE-heavy, multi-block, GROUPING SETS/ROLLUP/CUBE-heavy queries.
+
+The schema is a classic retail star (Gray et al.'s Data Cube setting): one
+``sales`` fact table keyed into ``store``, ``product`` and ``date_dim``
+dimensions. The query family stresses exactly the shapes the paper's
+TPC-H-lineitem evaluation does not: multi-CTE reaggregation chains,
+grouping-set lattices over joined dimensions, ordered-set aggregates under
+grouping sets, UNION ALL blocks, and EXISTS decorrelation.
+
+Everything is deterministic for a (scale_factor, seed) pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ...storage.table import Catalog
+
+REGIONS = ["NORTH", "SOUTH", "EAST", "WEST"]
+STATES = ["AZ", "CA", "CO", "NV", "NY", "OR", "TX", "WA"]
+CATEGORIES = ["GROCERY", "ELECTRONICS", "APPAREL", "HOME", "SPORTS"]
+SIZE_CLASSES = ["small", "medium", "large"]
+
+STAR_SCHEMAS = {
+    "date_dim": {
+        "d_date_id": "int64",
+        "d_year": "int64",
+        "d_quarter": "int64",
+        "d_month": "int64",
+        "d_week": "int64",
+    },
+    "store": {
+        "st_store_id": "int64",
+        "st_region": "string",
+        "st_state": "string",
+        "st_size_class": "string",
+    },
+    "product": {
+        "p_product_id": "int64",
+        "p_category": "string",
+        "p_brand": "string",
+        "p_unit_price": "float64",
+    },
+    "sales": {
+        "s_date_id": "int64",
+        "s_store_id": "int64",
+        "s_product_id": "int64",
+        "s_quantity": "float64",
+        "s_net_price": "float64",
+        "s_discount": "float64",
+        "s_returned": "int64",
+    },
+}
+
+
+def generate_star(
+    scale_factor: float = 0.01, seed: int = 7
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Generate the four star-schema tables as ``{table: {column: array}}``.
+
+    ``scale_factor`` uses the TPC-H convention: 0.01 yields ~1 500 fact
+    rows, 1.0 yields ~150 000.
+    """
+    rng = np.random.default_rng(seed)
+    num_days = 2 * 365
+    num_stores = max(8, int(400 * scale_factor))
+    num_products = max(12, int(2_000 * scale_factor))
+    num_sales = max(500, int(150_000 * scale_factor))
+
+    data: Dict[str, Dict[str, np.ndarray]] = {}
+    day = np.arange(1, num_days + 1)
+    doy = (day - 1) % 365
+    data["date_dim"] = {
+        "d_date_id": day,
+        "d_year": 2024 + (day - 1) // 365,
+        "d_quarter": doy // 92 + 1,
+        "d_month": doy // 31 + 1,
+        "d_week": doy // 7 + 1,
+    }
+    store_id = np.arange(1, num_stores + 1)
+    data["store"] = {
+        "st_store_id": store_id,
+        "st_region": np.array(REGIONS, dtype=object)[
+            rng.integers(0, len(REGIONS), num_stores)
+        ],
+        "st_state": np.array(STATES, dtype=object)[
+            rng.integers(0, len(STATES), num_stores)
+        ],
+        "st_size_class": np.array(SIZE_CLASSES, dtype=object)[
+            rng.integers(0, len(SIZE_CLASSES), num_stores)
+        ],
+    }
+    product_id = np.arange(1, num_products + 1)
+    unit_price = np.round(rng.uniform(1.5, 400.0, num_products), 2)
+    data["product"] = {
+        "p_product_id": product_id,
+        "p_category": np.array(CATEGORIES, dtype=object)[
+            rng.integers(0, len(CATEGORIES), num_products)
+        ],
+        "p_brand": np.array(
+            [f"Brand#{1 + i % 23}" for i in range(num_products)], dtype=object
+        ),
+        "p_unit_price": unit_price,
+    }
+    s_product = rng.integers(1, num_products + 1, num_sales)
+    quantity = rng.integers(1, 12, num_sales).astype(np.float64)
+    discount = np.round(rng.integers(0, 25, num_sales) / 100.0, 2)
+    net_price = np.round(unit_price[s_product - 1] * (1.0 - discount), 2)
+    data["sales"] = {
+        "s_date_id": rng.integers(1, num_days + 1, num_sales),
+        "s_store_id": rng.integers(1, num_stores + 1, num_sales),
+        "s_product_id": s_product,
+        "s_quantity": quantity,
+        "s_net_price": net_price,
+        "s_discount": discount,
+        "s_returned": (rng.random(num_sales) < 0.06).astype(np.int64),
+    }
+    return data
+
+
+def populate_star(db, scale_factor: float = 0.01, seed: int = 7) -> None:
+    """Create and fill the star schema in a Database (or bare Catalog)."""
+    catalog: Catalog = db.catalog if hasattr(db, "catalog") else db
+    data = generate_star(scale_factor, seed)
+    for name, schema in STAR_SCHEMAS.items():
+        table = catalog.create_table(name, schema)
+        table.insert_arrays(data[name])
+
+
+#: The decision-support family. Every query is multi-block (CTEs, derived
+#: tables, UNION ALL, or decorrelated subqueries) and most exercise a
+#: grouping-set lattice; ORDER BY totalizes output order where rows would
+#: otherwise be engine-order-dependent.
+DS_QUERIES: Dict[str, str] = {
+    "ds1_rollup_region_state": """
+        WITH enriched AS (
+            SELECT st_region AS region, st_state AS state,
+                   s_net_price * s_quantity AS revenue
+            FROM sales JOIN store ON s_store_id = st_store_id
+        )
+        SELECT region, state, sum(revenue) AS revenue, count(*) AS n
+        FROM enriched
+        GROUP BY ROLLUP (region, state)
+        ORDER BY region, state
+    """,
+    "ds2_cube_category_quarter": """
+        WITH facts AS (
+            SELECT p_category AS category, d_quarter AS quarter,
+                   s_quantity AS qty, s_net_price AS price
+            FROM sales
+            JOIN product ON s_product_id = p_product_id
+            JOIN date_dim ON s_date_id = d_date_id
+        )
+        SELECT category, quarter, sum(qty) AS units,
+               sum(price * qty) AS revenue, avg(price) AS avg_price
+        FROM facts
+        GROUP BY CUBE (category, quarter)
+        ORDER BY category, quarter
+    """,
+    "ds3_grouping_sets_lattice": """
+        SELECT st_region, p_category, sum(s_quantity) AS units,
+               grouping(st_region) AS g_region, grouping(p_category) AS g_cat
+        FROM sales
+        JOIN store ON s_store_id = st_store_id
+        JOIN product ON s_product_id = p_product_id
+        GROUP BY GROUPING SETS ((st_region, p_category), (st_region),
+                                (p_category), ())
+        ORDER BY st_region, p_category, g_region, g_cat
+    """,
+    "ds4_cte_chain_reaggregate": """
+        WITH daily AS (
+            SELECT s_date_id AS date_id, s_store_id AS store_id,
+                   sum(s_net_price * s_quantity) AS revenue
+            FROM sales GROUP BY s_date_id, s_store_id
+        ), store_totals AS (
+            SELECT store_id, sum(revenue) AS total,
+                   count(*) AS active_days
+            FROM daily GROUP BY store_id
+        )
+        SELECT st_region, sum(total) AS revenue, median(total) AS med_store,
+               max(active_days) AS busiest
+        FROM store_totals JOIN store ON store_id = st_store_id
+        GROUP BY st_region
+        ORDER BY st_region
+    """,
+    "ds5_union_all_returns": """
+        WITH flows AS (
+            SELECT s_store_id AS sid, s_quantity AS qty FROM sales
+            WHERE s_returned = 0
+            UNION ALL
+            SELECT s_store_id AS sid, 0.0 - s_quantity AS qty FROM sales
+            WHERE s_returned = 1
+        )
+        SELECT st_region, sum(qty) AS net_units, count(*) AS movements
+        FROM flows JOIN store ON sid = st_store_id
+        GROUP BY ROLLUP (st_region)
+        ORDER BY st_region
+    """,
+    "ds6_percentile_under_sets": """
+        SELECT p_category, d_year,
+               percentile_disc(0.5) WITHIN GROUP (ORDER BY s_net_price)
+                   AS med_price,
+               count(*) AS n
+        FROM sales
+        JOIN product ON s_product_id = p_product_id
+        JOIN date_dim ON s_date_id = d_date_id
+        GROUP BY GROUPING SETS ((p_category, d_year), (p_category), (d_year))
+        ORDER BY p_category, d_year
+    """,
+    "ds7_exists_decorrelated": """
+        SELECT st_state, count(*) AS bulk_stores
+        FROM store
+        WHERE EXISTS (SELECT s_store_id FROM sales
+                      WHERE s_store_id = st_store_id AND s_quantity > 9)
+        GROUP BY st_state
+        ORDER BY st_state
+    """,
+    "ds8_case_bands_rollup": """
+        WITH bucketed AS (
+            SELECT CASE WHEN s_discount > 0.15 THEN 'deep'
+                        WHEN s_discount > 0.05 THEN 'mid'
+                        ELSE 'low' END AS band,
+                   st_region AS region,
+                   s_net_price * s_quantity AS revenue
+            FROM sales JOIN store ON s_store_id = st_store_id
+        )
+        SELECT band, region, sum(revenue) AS revenue, count(*) AS n
+        FROM bucketed
+        GROUP BY ROLLUP (band, region)
+        HAVING count(*) > 1
+        ORDER BY band, region
+    """,
+    "ds9_median_of_store_totals": """
+        SELECT percentile_cont(0.5) WITHIN GROUP (ORDER BY total)
+                   AS med_store_revenue
+        FROM (SELECT s_store_id, sum(s_net_price * s_quantity) AS total
+              FROM sales GROUP BY s_store_id) AS t
+    """,
+    "ds10_three_key_lattice": """
+        SELECT d_year, d_quarter, st_region,
+               sum(s_quantity) AS units, avg(s_net_price) AS avg_price
+        FROM sales
+        JOIN store ON s_store_id = st_store_id
+        JOIN date_dim ON s_date_id = d_date_id
+        GROUP BY GROUPING SETS ((d_year, d_quarter, st_region),
+                                (d_year, d_quarter), (d_year), ())
+        ORDER BY d_year, d_quarter, st_region
+    """,
+}

@@ -1,14 +1,15 @@
 """Benchmark measurement and reporting helpers.
 
 ``measure`` runs one query on one engine at a thread count and returns the
-measured serial time plus the simulated parallel makespan (DESIGN.md §4
-item 2 explains the simulation). The ``format_*`` helpers print rows shaped
-like the paper's tables.
+measured serial time plus the makespan at the configured thread count
+(DESIGN.md §4 item 2 explains the simulated-mode makespan model). The
+``format_*`` helpers print rows shaped like the paper's tables.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Dict, List, NamedTuple, Optional
 
 from ..api import Database
@@ -16,23 +17,44 @@ from ..execution.context import EngineConfig
 
 
 class BenchResult(NamedTuple):
+    """One query × engine × thread-count measurement.
+
+    ``makespan`` is the wall time at the configured thread count: the
+    *measured* parallel wall time in parallel mode, the list-scheduled
+    makespan in simulated mode. (It was historically named
+    ``simulated_time``, which misread in parallel mode; the old name
+    survives as a deprecated alias.)
+    """
+
     query: str
     engine: str
     threads: int
     serial_time: float
-    simulated_time: float
+    makespan: float
     rows: int
     execution_mode: str = "simulated"
 
     @property
+    def simulated_time(self) -> float:
+        """Deprecated alias of :attr:`makespan`."""
+        warnings.warn(
+            "BenchResult.simulated_time is deprecated; use "
+            "BenchResult.makespan (in parallel mode it holds measured, "
+            "not simulated, wall time)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.makespan
+
+    @property
     def time(self) -> float:
         """Wall time at the configured thread count. In parallel mode,
-        ``simulated_time`` holds the *measured* parallel wall time; in
-        simulated mode it is the scheduled makespan (and the measured
-        serial time is the honest number at 1 thread)."""
+        ``makespan`` is the *measured* parallel wall time; in simulated
+        mode it is the scheduled makespan (and the measured serial time is
+        the honest number at 1 thread)."""
         if self.execution_mode == "parallel":
-            return self.simulated_time
-        return self.serial_time if self.threads == 1 else self.simulated_time
+            return self.makespan
+        return self.serial_time if self.threads == 1 else self.makespan
 
 
 def bench_scale_factor(default: float = 0.02) -> float:
@@ -80,7 +102,7 @@ class ModeComparison(NamedTuple):
         """Measured parallel wall-time speedup over the measured serial
         work of the same run (what multi-core hardware actually delivers;
         ~1x on a single-core host where threads cannot overlap)."""
-        return self.parallel.serial_time / max(self.parallel.simulated_time, 1e-9)
+        return self.parallel.serial_time / max(self.parallel.makespan, 1e-9)
 
 
 def measure_modes(
@@ -106,8 +128,8 @@ def format_modes_row(label: str, comparison: ModeComparison) -> str:
     return (
         f"{label:<24} {comparison.threads}T "
         f"| serial {sim.serial_time * 1000:9.1f}ms "
-        f"| simulated makespan {sim.simulated_time * 1000:9.1f}ms "
-        f"| measured parallel {par.simulated_time * 1000:9.1f}ms "
+        f"| simulated makespan {sim.makespan * 1000:9.1f}ms "
+        f"| measured parallel {par.makespan * 1000:9.1f}ms "
         f"(x{comparison.measured_speedup:4.2f} over its own serial work)"
     )
 

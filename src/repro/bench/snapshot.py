@@ -1,0 +1,631 @@
+"""Persisted benchmark snapshots (``BENCH_<pr>.json``) and the regression
+gate that compares two of them.
+
+A snapshot is the machine-checked performance trajectory of one PR: wall
+time per corpus query in serial and parallel mode (each run doubling as a
+differential correctness test against the naive oracle, see
+:mod:`repro.bench.corpora`), server throughput percentiles, plan-cache hit
+rate, and a host fingerprint so cross-machine comparisons are never
+mistaken for regressions. ``tools/bench_snapshot.py`` writes them;
+``tools/bench_gate.py`` compares the fresh one against the latest
+committed one and fails CI on regressions beyond a noise threshold.
+
+The schema validator is hand-rolled (CI installs only numpy + pytest, so
+``jsonschema`` is out of reach); :data:`SNAPSHOT_SPEC` documents the shape.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import platform
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+SCHEMA_VERSION = 1
+
+#: Human-readable shape of a snapshot document (the validator enforces it):
+#:
+#: .. code-block:: text
+#:
+#:     schema_version: int == 1
+#:     pr: int >= 0
+#:     created_utc: str (ISO-8601)
+#:     host: {cpu_count: int >= 1, platform: str, machine: str, python: str}
+#:     config: {scale_factor: float > 0, threads: int >= 1,
+#:              repeats: int >= 1, queries_per_family: int | null,
+#:              server_duration_s: float >= 0, server_clients: int >= 1}
+#:     families: {<name>: {description: str, engine_profile: dict,
+#:                         queries: {<qname>: {wall_s, parallel_wall_s:
+#:                         float >= 0, parallel_speedup: float > 0,
+#:                         rows: int >= 0, verified: bool}}}}  (non-empty)
+#:     server: {throughput_qps: float >= 0, completed: int >= 0,
+#:              incorrect: int >= 0,
+#:              latency_ms: {p50, p95, p99, mean: float >= 0},
+#:              plan_cache_hit_rate: float in [0, 1]}
+#:     correctness: {queries_verified: int >= 0, mismatches: [str]}
+SNAPSHOT_SPEC = "see module docstring"
+
+_QUERY_FIELDS = {
+    "wall_s": (float, int),
+    "parallel_wall_s": (float, int),
+    "parallel_speedup": (float, int),
+    "rows": (int,),
+    "verified": (bool,),
+}
+
+
+def host_fingerprint() -> Dict[str, Any]:
+    """What the gate uses to decide whether wall times are comparable."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.system(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Schema validation
+# ----------------------------------------------------------------------
+def _expect(errors, doc, key, types, path):
+    if key not in doc:
+        errors.append(f"{path}: missing key {key!r}")
+        return None
+    value = doc[key]
+    # bool is an int subclass; reject it where an int/float is expected.
+    if isinstance(value, bool) and bool not in types:
+        errors.append(f"{path}.{key}: expected {types}, got bool")
+        return None
+    if not isinstance(value, types):
+        errors.append(
+            f"{path}.{key}: expected {types}, got {type(value).__name__}"
+        )
+        return None
+    return value
+
+
+def validate_snapshot(doc: Any) -> List[str]:
+    """Every schema violation in ``doc`` (empty list == valid)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"snapshot must be an object, got {type(doc).__name__}"]
+
+    version = _expect(errors, doc, "schema_version", (int,), "$")
+    if version is not None and version != SCHEMA_VERSION:
+        errors.append(
+            f"$.schema_version: expected {SCHEMA_VERSION}, got {version}"
+        )
+    pr = _expect(errors, doc, "pr", (int,), "$")
+    if pr is not None and pr < 0:
+        errors.append("$.pr: must be >= 0")
+    _expect(errors, doc, "created_utc", (str,), "$")
+
+    host = _expect(errors, doc, "host", (dict,), "$")
+    if host is not None:
+        cpus = _expect(errors, host, "cpu_count", (int,), "$.host")
+        if cpus is not None and cpus < 1:
+            errors.append("$.host.cpu_count: must be >= 1")
+        for key in ("platform", "machine", "python"):
+            _expect(errors, host, key, (str,), "$.host")
+
+    config = _expect(errors, doc, "config", (dict,), "$")
+    if config is not None:
+        sf = _expect(errors, config, "scale_factor", (float, int), "$.config")
+        if sf is not None and sf <= 0:
+            errors.append("$.config.scale_factor: must be > 0")
+        threads = _expect(errors, config, "threads", (int,), "$.config")
+        if threads is not None and threads < 1:
+            errors.append("$.config.threads: must be >= 1")
+        _expect(errors, config, "repeats", (int,), "$.config")
+
+    families = _expect(errors, doc, "families", (dict,), "$")
+    if families is not None:
+        if not families:
+            errors.append("$.families: must not be empty")
+        for fname, family in families.items():
+            fpath = f"$.families.{fname}"
+            if not isinstance(family, dict):
+                errors.append(f"{fpath}: expected object")
+                continue
+            _expect(errors, family, "description", (str,), fpath)
+            _expect(errors, family, "engine_profile", (dict,), fpath)
+            queries = _expect(errors, family, "queries", (dict,), fpath)
+            if queries is None:
+                continue
+            if not queries:
+                errors.append(f"{fpath}.queries: must not be empty")
+            for qname, entry in queries.items():
+                qpath = f"{fpath}.queries.{qname}"
+                if not isinstance(entry, dict):
+                    errors.append(f"{qpath}: expected object")
+                    continue
+                for key, types in _QUERY_FIELDS.items():
+                    value = _expect(errors, entry, key, types, qpath)
+                    if (
+                        value is not None
+                        and not isinstance(value, bool)
+                        and key != "parallel_speedup"
+                        and value < 0
+                    ):
+                        errors.append(f"{qpath}.{key}: must be >= 0")
+                speedup = entry.get("parallel_speedup")
+                if isinstance(speedup, (int, float)) and speedup <= 0:
+                    errors.append(f"{qpath}.parallel_speedup: must be > 0")
+
+    server = _expect(errors, doc, "server", (dict,), "$")
+    if server is not None:
+        for key in ("throughput_qps",):
+            value = _expect(errors, server, key, (float, int), "$.server")
+            if value is not None and value < 0:
+                errors.append(f"$.server.{key}: must be >= 0")
+        for key in ("completed", "incorrect"):
+            value = _expect(errors, server, key, (int,), "$.server")
+            if value is not None and value < 0:
+                errors.append(f"$.server.{key}: must be >= 0")
+        latency = _expect(errors, server, "latency_ms", (dict,), "$.server")
+        if latency is not None:
+            for key in ("p50", "p95", "p99", "mean"):
+                value = _expect(
+                    errors, latency, key, (float, int), "$.server.latency_ms"
+                )
+                if value is not None and value < 0:
+                    errors.append(f"$.server.latency_ms.{key}: must be >= 0")
+        rate = _expect(
+            errors, server, "plan_cache_hit_rate", (float, int), "$.server"
+        )
+        if rate is not None and not 0.0 <= rate <= 1.0:
+            errors.append("$.server.plan_cache_hit_rate: must be in [0, 1]")
+
+    correctness = _expect(errors, doc, "correctness", (dict,), "$")
+    if correctness is not None:
+        verified = _expect(
+            errors, correctness, "queries_verified", (int,), "$.correctness"
+        )
+        if verified is not None and verified < 0:
+            errors.append("$.correctness.queries_verified: must be >= 0")
+        mismatches = _expect(
+            errors, correctness, "mismatches", (list,), "$.correctness"
+        )
+        if mismatches is not None and not all(
+            isinstance(m, str) for m in mismatches
+        ):
+            errors.append("$.correctness.mismatches: entries must be strings")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Building a snapshot
+# ----------------------------------------------------------------------
+def _measure_server(
+    scale_factor: float,
+    duration_s: float,
+    clients: int,
+    threads: int,
+    progress: Callable[[str], None],
+) -> Dict[str, Any]:
+    """A compact QueryService load run: N client threads over a repeated
+    TPC-H mix, reference-verified, reporting throughput + percentiles +
+    plan-cache hit rate."""
+    import threading
+
+    import numpy as np
+
+    from ..api import Database
+    from ..server import QueryService, ServiceConfig
+    from ..tpch import TPCH_QUERIES, populate_database
+
+    db = Database()
+    populate_database(db, scale_factor=scale_factor, seed=42)
+    mix = [
+        "SELECT count(*) FROM lineitem",
+        "SELECT l_returnflag, l_linestatus, sum(l_quantity), "
+        "avg(l_extendedprice) FROM lineitem "
+        "GROUP BY l_returnflag, l_linestatus",
+        "SELECT l_returnflag, median(l_extendedprice) FROM lineitem "
+        "GROUP BY l_returnflag",
+        TPCH_QUERIES["q6"],
+    ]
+    ref_config = db.config.clone(num_threads=threads)
+    references = {sql: db.sql(sql, config=ref_config).rows() for sql in mix}
+
+    service = QueryService(
+        db, ServiceConfig(max_concurrent=max(2, clients // 2))
+    )
+    latencies: List[float] = []
+    counts = {"completed": 0, "incorrect": 0}
+    lock = threading.Lock()
+    deadline = time.monotonic() + duration_s
+
+    def client(index: int) -> None:
+        session = service.session(num_threads=threads)
+        rng = np.random.default_rng(1000 + index)
+        while time.monotonic() < deadline:
+            sql = mix[int(rng.integers(len(mix)))]
+            start = time.monotonic()
+            result = session.execute(sql, timeout=120.0)
+            elapsed = time.monotonic() - start
+            wrong = result.rows() != references[sql]
+            with lock:
+                latencies.append(elapsed)
+                counts["completed"] += 1
+                counts["incorrect"] += int(wrong)
+
+    progress(f"server load: {clients} clients for {duration_s:.1f}s ...")
+    wall_start = time.monotonic()
+    workers = [
+        threading.Thread(target=client, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(duration_s + 120.0)
+    wall = time.monotonic() - wall_start
+    stats = service.stats()
+    service.shutdown(wait=True)
+
+    def pct(q: float) -> float:
+        if not latencies:
+            return 0.0
+        return round(float(np.percentile(np.asarray(latencies), q)) * 1000, 3)
+
+    hit_rate = 0.0
+    if stats.get("plan_cache"):
+        hit_rate = float(stats["plan_cache"].get("hit_rate", 0.0))
+    return {
+        "throughput_qps": round(counts["completed"] / wall, 2) if wall else 0.0,
+        "completed": counts["completed"],
+        "incorrect": counts["incorrect"],
+        "latency_ms": {
+            "p50": pct(50),
+            "p95": pct(95),
+            "p99": pct(99),
+            "mean": round(
+                float(np.mean(latencies)) * 1000 if latencies else 0.0, 3
+            ),
+        },
+        "plan_cache_hit_rate": round(hit_rate, 4),
+    }
+
+
+def build_snapshot(
+    pr: int,
+    scale_factor: float = 0.01,
+    threads: int = 4,
+    repeats: int = 3,
+    queries_per_family: Optional[int] = None,
+    families: Optional[List[str]] = None,
+    server_duration_s: float = 3.0,
+    server_clients: int = 4,
+    progress: Callable[[str], None] = lambda line: None,
+) -> Dict[str, Any]:
+    """Run every registered corpus (plus the server load) and assemble a
+    schema-valid snapshot document.
+
+    Each query runs ``repeats`` times in serial mode and ``repeats`` times
+    in parallel mode under the family's engine profile with
+    ``verify_plans="strict"``; the recorded wall time is the minimum (the
+    standard noise-resistant choice). Every run's canonicalized rows are
+    compared against the naive oracle — a mismatch lands in
+    ``correctness.mismatches`` and marks the query ``verified: false``.
+    """
+    from .corpora import CORPORA, canonical_rows, reference_answers
+
+    wanted = families if families is not None else list(CORPORA)
+    doc_families: Dict[str, Any] = {}
+    mismatches: List[str] = []
+    queries_verified = 0
+
+    for fname in wanted:
+        corpus = CORPORA[fname]
+        progress(f"family {fname}: building data (sf={scale_factor}) ...")
+        db = corpus.build_database(scale_factor=scale_factor)
+        names = list(corpus.queries)
+        if queries_per_family is not None:
+            names = names[:queries_per_family]
+        selected = {name: corpus.queries[name] for name in names}
+        references = reference_answers(db, corpus, selected)
+
+        query_entries: Dict[str, Any] = {}
+        for name, sql in selected.items():
+            entry: Dict[str, Any] = {}
+            verified = True
+            rows = 0
+            for mode, mode_threads, key in (
+                ("simulated", 1, "wall_s"),
+                ("parallel", threads, "parallel_wall_s"),
+            ):
+                config = corpus.config(
+                    execution_mode=mode,
+                    num_threads=mode_threads,
+                    verify_plans="strict",
+                )
+                best = float("inf")
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    result = db.sql(sql, config=config)
+                    best = min(best, time.perf_counter() - start)
+                entry[key] = round(best, 6)
+                rows = len(result)
+                if canonical_rows(result) != references[name]:
+                    verified = False
+                    mismatches.append(
+                        f"{fname}/{name}: {mode} mode diverges from the "
+                        f"naive reference"
+                    )
+            entry["parallel_speedup"] = round(
+                entry["wall_s"] / max(entry["parallel_wall_s"], 1e-9), 4
+            )
+            entry["rows"] = rows
+            entry["verified"] = verified
+            queries_verified += int(verified)
+            query_entries[name] = entry
+            progress(
+                f"  {fname}/{name}: serial {entry['wall_s'] * 1000:.1f}ms "
+                f"parallel {entry['parallel_wall_s'] * 1000:.1f}ms "
+                f"{'ok' if verified else 'MISMATCH'}"
+            )
+        doc_families[fname] = {
+            "description": corpus.description,
+            "engine_profile": dict(corpus.engine_profile),
+            "queries": query_entries,
+        }
+
+    server = _measure_server(
+        scale_factor, server_duration_s, server_clients, threads, progress
+    )
+    if server["incorrect"]:
+        mismatches.append(
+            f"server: {server['incorrect']} incorrect result(s) under load"
+        )
+
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "pr": pr,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": host_fingerprint(),
+        "config": {
+            "scale_factor": scale_factor,
+            "threads": threads,
+            "repeats": repeats,
+            "queries_per_family": queries_per_family,
+            "server_duration_s": server_duration_s,
+            "server_clients": server_clients,
+        },
+        "families": doc_families,
+        "server": server,
+        "correctness": {
+            "queries_verified": queries_verified,
+            "mismatches": mismatches,
+        },
+    }
+    errors = validate_snapshot(doc)
+    if errors:  # pragma: no cover — a bug in this module, not in callers
+        raise ValueError(f"built an invalid snapshot: {errors}")
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Snapshot files
+# ----------------------------------------------------------------------
+_SNAPSHOT_NAME = re.compile(r"BENCH_(\d+)\.json$")
+
+
+def snapshot_path(directory: str, pr: int) -> str:
+    return os.path.join(directory, f"BENCH_{pr}.json")
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    errors = validate_snapshot(doc)
+    if errors:
+        raise ValueError(f"{path} is not a valid snapshot: {errors[:5]}")
+    return doc
+
+
+def write_snapshot(doc: Dict[str, Any], path: str) -> None:
+    errors = validate_snapshot(doc)
+    if errors:
+        raise ValueError(f"refusing to write invalid snapshot: {errors[:5]}")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def find_latest_snapshot(
+    directory: str, before_pr: Optional[int] = None
+) -> Optional[str]:
+    """The committed ``BENCH_<n>.json`` with the highest PR number (below
+    ``before_pr`` when given), or None when the directory has none."""
+    best: Tuple[int, Optional[str]] = (-1, None)
+    for path in glob.glob(os.path.join(directory, "BENCH_*.json")):
+        match = _SNAPSHOT_NAME.search(os.path.basename(path))
+        if not match:
+            continue
+        pr = int(match.group(1))
+        if before_pr is not None and pr >= before_pr:
+            continue
+        if pr > best[0]:
+            best = (pr, path)
+    return best[1]
+
+
+# ----------------------------------------------------------------------
+# The regression gate
+# ----------------------------------------------------------------------
+@dataclass
+class GateReport:
+    """Outcome of comparing a current snapshot against a baseline."""
+
+    ok: bool = True
+    failures: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    improvements: List[str] = field(default_factory=list)
+    checked: int = 0
+
+    def fail(self, message: str) -> None:
+        self.ok = False
+        self.failures.append(message)
+
+    def render(self) -> str:
+        lines = [
+            f"bench gate: {self.checked} metric(s) checked — "
+            f"{'PASS' if self.ok else 'FAIL'}"
+        ]
+        for message in self.failures:
+            lines.append(f"  FAIL {message}")
+        for message in self.warnings:
+            lines.append(f"  warn {message}")
+        for message in self.improvements:
+            lines.append(f"  nice {message}")
+        return "\n".join(lines)
+
+
+def _hosts_comparable(baseline: Dict, current: Dict) -> bool:
+    """Wall times are only comparable on matching hardware classes."""
+    b, c = baseline["host"], current["host"]
+    return (
+        b["cpu_count"] == c["cpu_count"]
+        and b["platform"] == c["platform"]
+        and b["machine"] == c["machine"]
+    )
+
+
+def _configs_comparable(baseline: Dict, current: Dict) -> bool:
+    b, c = baseline["config"], current["config"]
+    return b["scale_factor"] == c["scale_factor"] and b["threads"] == c["threads"]
+
+
+def compare_snapshots(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    noise: float = 0.35,
+    min_wall_s: float = 0.005,
+    advisory_wall: bool = False,
+) -> GateReport:
+    """Gate ``current`` against ``baseline``.
+
+    Correctness is always fatal: any ``correctness.mismatches`` entry,
+    unverified query, or incorrect server result in ``current`` fails the
+    gate regardless of every other setting. Wall-time/throughput metrics
+    regress when they are worse than baseline by more than ``noise``
+    (relative) *and* ``min_wall_s`` (absolute — sub-noise-floor timings
+    never gate). When the host fingerprints or measurement configs differ,
+    or ``advisory_wall`` is set (the 1-CPU CI runner), wall regressions
+    demote to warnings.
+    """
+    report = GateReport()
+
+    # --- correctness: unconditional -----------------------------------
+    for message in current["correctness"]["mismatches"]:
+        report.fail(f"correctness: {message}")
+    for fname, family in current["families"].items():
+        for qname, entry in family["queries"].items():
+            report.checked += 1
+            if not entry["verified"]:
+                report.fail(
+                    f"correctness: {fname}/{qname} is not verified against "
+                    f"the naive reference"
+                )
+    if current["server"]["incorrect"]:
+        report.fail(
+            f"correctness: server returned "
+            f"{current['server']['incorrect']} incorrect result(s)"
+        )
+
+    # --- wall-time comparability --------------------------------------
+    wall_fatal = not advisory_wall
+    if not _hosts_comparable(baseline, current):
+        report.warnings.append(
+            f"host fingerprint changed "
+            f"({baseline['host']['cpu_count']}x {baseline['host']['platform']}"
+            f"/{baseline['host']['machine']} → "
+            f"{current['host']['cpu_count']}x {current['host']['platform']}"
+            f"/{current['host']['machine']}): wall-time comparisons are "
+            f"advisory only"
+        )
+        wall_fatal = False
+    elif not _configs_comparable(baseline, current):
+        report.warnings.append(
+            "measurement config changed (scale factor / threads): "
+            "wall-time comparisons are advisory only"
+        )
+        wall_fatal = False
+    elif advisory_wall:
+        report.warnings.append(
+            "wall-time comparisons demoted to advisory (--advisory-wall)"
+        )
+
+    def check_wall(label: str, base: float, cur: float) -> None:
+        report.checked += 1
+        if cur > base * (1.0 + noise) and cur - base > min_wall_s:
+            message = (
+                f"{label}: {base * 1000:.1f}ms → {cur * 1000:.1f}ms "
+                f"(+{(cur / max(base, 1e-9) - 1.0) * 100:.0f}%, "
+                f"noise threshold {noise * 100:.0f}%)"
+            )
+            if wall_fatal:
+                report.fail(message)
+            else:
+                report.warnings.append(f"advisory regression — {message}")
+        elif base > cur * (1.0 + noise) and base - cur > min_wall_s:
+            report.improvements.append(
+                f"{label}: {base * 1000:.1f}ms → {cur * 1000:.1f}ms"
+            )
+
+    # --- per-query walls ----------------------------------------------
+    for fname, base_family in baseline["families"].items():
+        cur_family = current["families"].get(fname)
+        if cur_family is None:
+            report.fail(f"coverage: family {fname!r} vanished from the snapshot")
+            continue
+        for qname, base_entry in base_family["queries"].items():
+            cur_entry = cur_family["queries"].get(qname)
+            if cur_entry is None:
+                report.fail(
+                    f"coverage: query {fname}/{qname} vanished from the "
+                    f"snapshot"
+                )
+                continue
+            check_wall(
+                f"{fname}/{qname} serial",
+                base_entry["wall_s"],
+                cur_entry["wall_s"],
+            )
+            check_wall(
+                f"{fname}/{qname} parallel",
+                base_entry["parallel_wall_s"],
+                cur_entry["parallel_wall_s"],
+            )
+
+    # --- server -------------------------------------------------------
+    base_server, cur_server = baseline["server"], current["server"]
+    report.checked += 1
+    base_qps, cur_qps = base_server["throughput_qps"], cur_server["throughput_qps"]
+    if base_qps > 0 and cur_qps < base_qps / (1.0 + noise):
+        message = (
+            f"server throughput: {base_qps:.1f} qps → {cur_qps:.1f} qps "
+            f"(-{(1.0 - cur_qps / base_qps) * 100:.0f}%)"
+        )
+        if wall_fatal:
+            report.fail(message)
+        else:
+            report.warnings.append(f"advisory regression — {message}")
+    check_wall(
+        "server p95 latency",
+        base_server["latency_ms"]["p95"] / 1000.0,
+        cur_server["latency_ms"]["p95"] / 1000.0,
+    )
+    base_rate = base_server["plan_cache_hit_rate"]
+    cur_rate = cur_server["plan_cache_hit_rate"]
+    if base_rate - cur_rate > 0.2:
+        report.warnings.append(
+            f"plan-cache hit rate dropped {base_rate:.2f} → {cur_rate:.2f}"
+        )
+    return report

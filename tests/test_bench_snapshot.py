@@ -1,0 +1,412 @@
+"""Tests for the benchmark snapshot/gate tooling (repro.bench.snapshot).
+
+Covers: schema validation (valid documents, every violation class), the
+gate's behavior on identical snapshots, a synthetically injected 2×
+regression, host-fingerprint mismatches (warn, don't fail), advisory-wall
+mode, coverage loss, correctness fatality, snapshot file discovery, the
+CLI exit codes, and a miniature end-to-end ``build_snapshot`` run.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.harness import BenchResult
+from repro.bench.snapshot import (
+    SCHEMA_VERSION,
+    compare_snapshots,
+    find_latest_snapshot,
+    host_fingerprint,
+    load_snapshot,
+    snapshot_path,
+    validate_snapshot,
+    write_snapshot,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def make_snapshot(pr=5, wall=0.100, qps=50.0, p95=20.0):
+    """A small, schema-valid synthetic snapshot."""
+    def query(w):
+        return {
+            "wall_s": w,
+            "parallel_wall_s": w * 0.9,
+            "parallel_speedup": 1.11,
+            "rows": 10,
+            "verified": True,
+        }
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "pr": pr,
+        "created_utc": "2026-08-08T00:00:00Z",
+        "host": host_fingerprint(),
+        "config": {
+            "scale_factor": 0.01,
+            "threads": 4,
+            "repeats": 3,
+            "queries_per_family": None,
+            "server_duration_s": 3.0,
+            "server_clients": 4,
+        },
+        "families": {
+            "star_ds": {
+                "description": "decision support",
+                "engine_profile": {},
+                "queries": {"ds1": query(wall), "ds2": query(wall * 2)},
+            },
+            "sensor_edge": {
+                "description": "sensor windows",
+                "engine_profile": {"memory_budget_bytes": 65536},
+                "queries": {"se1": query(wall * 1.5)},
+            },
+        },
+        "server": {
+            "throughput_qps": qps,
+            "completed": 100,
+            "incorrect": 0,
+            "latency_ms": {"p50": 10.0, "p95": p95, "p99": 30.0, "mean": 12.0},
+            "plan_cache_hit_rate": 0.9,
+        },
+        "correctness": {"queries_verified": 3, "mismatches": []},
+    }
+
+
+# ----------------------------------------------------------------------
+# Schema validation
+# ----------------------------------------------------------------------
+class TestValidateSnapshot:
+    def test_valid_document(self):
+        assert validate_snapshot(make_snapshot()) == []
+
+    def test_not_an_object(self):
+        assert validate_snapshot([1, 2]) != []
+        assert validate_snapshot(None) != []
+
+    @pytest.mark.parametrize(
+        "key", ["schema_version", "pr", "created_utc", "host", "config",
+                "families", "server", "correctness"]
+    )
+    def test_missing_top_level_key(self, key):
+        doc = make_snapshot()
+        del doc[key]
+        errors = validate_snapshot(doc)
+        assert any(key in e for e in errors), errors
+
+    def test_wrong_schema_version(self):
+        doc = make_snapshot()
+        doc["schema_version"] = SCHEMA_VERSION + 1
+        assert any("schema_version" in e for e in validate_snapshot(doc))
+
+    def test_bool_rejected_where_int_expected(self):
+        doc = make_snapshot()
+        doc["pr"] = True
+        assert any("pr" in e for e in validate_snapshot(doc))
+
+    def test_negative_wall_time(self):
+        doc = make_snapshot()
+        doc["families"]["star_ds"]["queries"]["ds1"]["wall_s"] = -1.0
+        assert any("wall_s" in e for e in validate_snapshot(doc))
+
+    def test_zero_speedup_rejected(self):
+        doc = make_snapshot()
+        doc["families"]["star_ds"]["queries"]["ds1"]["parallel_speedup"] = 0.0
+        assert any("parallel_speedup" in e for e in validate_snapshot(doc))
+
+    def test_verified_must_be_bool(self):
+        doc = make_snapshot()
+        doc["families"]["star_ds"]["queries"]["ds1"]["verified"] = 1
+        assert any("verified" in e for e in validate_snapshot(doc))
+
+    def test_empty_families_rejected(self):
+        doc = make_snapshot()
+        doc["families"] = {}
+        assert any("families" in e for e in validate_snapshot(doc))
+
+    def test_empty_query_map_rejected(self):
+        doc = make_snapshot()
+        doc["families"]["star_ds"]["queries"] = {}
+        assert any("queries" in e for e in validate_snapshot(doc))
+
+    def test_hit_rate_bounds(self):
+        doc = make_snapshot()
+        doc["server"]["plan_cache_hit_rate"] = 1.5
+        assert any("plan_cache_hit_rate" in e for e in validate_snapshot(doc))
+
+    def test_mismatches_must_be_strings(self):
+        doc = make_snapshot()
+        doc["correctness"]["mismatches"] = [42]
+        assert any("mismatches" in e for e in validate_snapshot(doc))
+
+
+# ----------------------------------------------------------------------
+# The gate
+# ----------------------------------------------------------------------
+class TestGate:
+    def test_identical_snapshots_pass(self):
+        base = make_snapshot(pr=5)
+        cur = make_snapshot(pr=6)
+        report = compare_snapshots(base, cur)
+        assert report.ok, report.render()
+        assert report.failures == []
+        assert report.checked > 0
+
+    def test_injected_2x_regression_fails(self):
+        base = make_snapshot(pr=5)
+        cur = make_snapshot(pr=6)
+        cur["families"]["star_ds"]["queries"]["ds1"]["wall_s"] = (
+            base["families"]["star_ds"]["queries"]["ds1"]["wall_s"] * 2.0
+        )
+        report = compare_snapshots(base, cur)
+        assert not report.ok
+        assert any("ds1 serial" in f for f in report.failures)
+
+    def test_sub_noise_regression_passes(self):
+        base = make_snapshot(pr=5)
+        cur = make_snapshot(pr=6)
+        cur["families"]["star_ds"]["queries"]["ds1"]["wall_s"] *= 1.10
+        report = compare_snapshots(base, cur, noise=0.35)
+        assert report.ok, report.render()
+
+    def test_tiny_absolute_delta_never_gates(self):
+        """A 3× blowup on a 1ms query is below the absolute noise floor."""
+        base = make_snapshot(pr=5, wall=0.001)
+        cur = make_snapshot(pr=6, wall=0.003)
+        report = compare_snapshots(base, cur, min_wall_s=0.005)
+        assert report.ok, report.render()
+
+    def test_host_mismatch_warns_instead_of_failing(self):
+        base = make_snapshot(pr=5)
+        base["host"]["cpu_count"] = 64
+        cur = make_snapshot(pr=6)
+        cur["families"]["star_ds"]["queries"]["ds1"]["wall_s"] *= 3.0
+        report = compare_snapshots(base, cur)
+        assert report.ok, report.render()
+        assert any("host fingerprint" in w for w in report.warnings)
+        assert any("advisory regression" in w for w in report.warnings)
+
+    def test_config_mismatch_warns_instead_of_failing(self):
+        base = make_snapshot(pr=5)
+        base["config"]["scale_factor"] = 0.1
+        cur = make_snapshot(pr=6)
+        cur["families"]["star_ds"]["queries"]["ds1"]["wall_s"] *= 3.0
+        report = compare_snapshots(base, cur)
+        assert report.ok, report.render()
+        assert any("measurement config" in w for w in report.warnings)
+
+    def test_advisory_wall_demotes_regressions(self):
+        base = make_snapshot(pr=5)
+        cur = make_snapshot(pr=6)
+        cur["families"]["star_ds"]["queries"]["ds1"]["wall_s"] *= 3.0
+        report = compare_snapshots(base, cur, advisory_wall=True)
+        assert report.ok, report.render()
+        assert any("advisory regression" in w for w in report.warnings)
+
+    def test_correctness_fatal_even_with_host_mismatch(self):
+        base = make_snapshot(pr=5)
+        base["host"]["cpu_count"] = 64
+        cur = make_snapshot(pr=6)
+        cur["correctness"]["mismatches"] = ["star_ds/ds1: parallel diverges"]
+        report = compare_snapshots(base, cur, advisory_wall=True)
+        assert not report.ok
+        assert any("correctness" in f for f in report.failures)
+
+    def test_unverified_query_fails(self):
+        base = make_snapshot(pr=5)
+        cur = make_snapshot(pr=6)
+        cur["families"]["sensor_edge"]["queries"]["se1"]["verified"] = False
+        report = compare_snapshots(base, cur)
+        assert not report.ok
+        assert any("not verified" in f for f in report.failures)
+
+    def test_server_incorrect_fails(self):
+        base = make_snapshot(pr=5)
+        cur = make_snapshot(pr=6)
+        cur["server"]["incorrect"] = 2
+        report = compare_snapshots(base, cur)
+        assert not report.ok
+
+    def test_vanished_query_fails(self):
+        base = make_snapshot(pr=5)
+        cur = make_snapshot(pr=6)
+        del cur["families"]["star_ds"]["queries"]["ds2"]
+        report = compare_snapshots(base, cur)
+        assert not report.ok
+        assert any("vanished" in f for f in report.failures)
+
+    def test_vanished_family_fails(self):
+        base = make_snapshot(pr=5)
+        cur = make_snapshot(pr=6)
+        del cur["families"]["sensor_edge"]
+        report = compare_snapshots(base, cur)
+        assert not report.ok
+
+    def test_throughput_regression_fails(self):
+        base = make_snapshot(pr=5, qps=100.0)
+        cur = make_snapshot(pr=6, qps=40.0)
+        report = compare_snapshots(base, cur)
+        assert not report.ok
+        assert any("throughput" in f for f in report.failures)
+
+    def test_improvement_reported(self):
+        base = make_snapshot(pr=5, wall=0.2)
+        cur = make_snapshot(pr=6, wall=0.05)
+        report = compare_snapshots(base, cur)
+        assert report.ok
+        assert report.improvements
+
+    def test_hit_rate_drop_warns(self):
+        base = make_snapshot(pr=5)
+        cur = make_snapshot(pr=6)
+        cur["server"]["plan_cache_hit_rate"] = 0.1
+        report = compare_snapshots(base, cur)
+        assert report.ok
+        assert any("hit rate" in w for w in report.warnings)
+
+
+# ----------------------------------------------------------------------
+# Snapshot files
+# ----------------------------------------------------------------------
+class TestSnapshotFiles:
+    def test_write_load_roundtrip(self, tmp_path):
+        doc = make_snapshot(pr=6)
+        path = snapshot_path(str(tmp_path), 6)
+        write_snapshot(doc, path)
+        assert load_snapshot(path) == doc
+
+    def test_write_refuses_invalid(self, tmp_path):
+        doc = make_snapshot()
+        del doc["server"]
+        with pytest.raises(ValueError, match="invalid snapshot"):
+            write_snapshot(doc, str(tmp_path / "BENCH_9.json"))
+
+    def test_load_refuses_invalid(self, tmp_path):
+        path = tmp_path / "BENCH_9.json"
+        path.write_text(json.dumps({"schema_version": 1}))
+        with pytest.raises(ValueError, match="not a valid snapshot"):
+            load_snapshot(str(path))
+
+    def test_find_latest(self, tmp_path):
+        for pr in (3, 5, 4):
+            write_snapshot(make_snapshot(pr=pr), snapshot_path(str(tmp_path), pr))
+        assert find_latest_snapshot(str(tmp_path)).endswith("BENCH_5.json")
+        assert find_latest_snapshot(
+            str(tmp_path), before_pr=5
+        ).endswith("BENCH_4.json")
+        assert find_latest_snapshot(str(tmp_path), before_pr=3) is None
+
+    def test_find_latest_empty_dir(self, tmp_path):
+        assert find_latest_snapshot(str(tmp_path)) is None
+
+    def test_committed_snapshot_is_valid(self):
+        """The repo's committed trajectory must always load cleanly."""
+        directory = os.path.join(REPO_ROOT, "benchmarks", "snapshots")
+        latest = find_latest_snapshot(directory)
+        assert latest is not None, "no committed BENCH_*.json"
+        doc = load_snapshot(latest)
+        assert set(doc["families"]) >= {"tpch", "star_ds", "sensor_edge"}
+        assert doc["correctness"]["mismatches"] == []
+
+
+# ----------------------------------------------------------------------
+# Gate CLI exit codes
+# ----------------------------------------------------------------------
+def run_gate(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "tools", "bench_gate.py"),
+         *argv],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+    )
+
+
+class TestGateCli:
+    def test_clean_rerun_exits_zero(self, tmp_path):
+        write_snapshot(make_snapshot(pr=5), snapshot_path(str(tmp_path), 5))
+        current = str(tmp_path / "fresh.json")
+        write_snapshot(make_snapshot(pr=6), current)
+        proc = run_gate("--current", current, "--snapshot-dir", str(tmp_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "PASS" in proc.stdout
+
+    def test_injected_regression_exits_nonzero(self, tmp_path):
+        write_snapshot(make_snapshot(pr=5), snapshot_path(str(tmp_path), 5))
+        doc = make_snapshot(pr=6)
+        doc["families"]["star_ds"]["queries"]["ds1"]["wall_s"] *= 2.0
+        current = str(tmp_path / "fresh.json")
+        write_snapshot(doc, current)
+        proc = run_gate("--current", current, "--snapshot-dir", str(tmp_path))
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "FAIL" in proc.stdout
+
+    def test_bootstrap_without_baseline(self, tmp_path):
+        current = str(tmp_path / "fresh.json")
+        write_snapshot(make_snapshot(pr=6), current)
+        proc = run_gate("--current", current, "--snapshot-dir", str(tmp_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "bootstrap" in proc.stdout
+
+    def test_missing_current_exits_two(self, tmp_path):
+        proc = run_gate("--current", str(tmp_path / "nope.json"))
+        assert proc.returncode == 2
+
+
+# ----------------------------------------------------------------------
+# BenchResult rename (satellite): makespan + deprecation alias
+# ----------------------------------------------------------------------
+class TestBenchResultRename:
+    def make(self, mode):
+        return BenchResult("q", "lolepop", 4, 1.0, 0.4, 10, mode)
+
+    def test_makespan_field(self):
+        assert self.make("parallel").makespan == 0.4
+
+    def test_simulated_time_alias_warns(self):
+        result = self.make("simulated")
+        with pytest.warns(DeprecationWarning, match="makespan"):
+            assert result.simulated_time == result.makespan
+
+    def test_time_semantics_unchanged(self):
+        assert self.make("parallel").time == 0.4
+        assert self.make("simulated").time == 0.4  # threads > 1 → makespan
+        one_thread = BenchResult("q", "lolepop", 1, 1.0, 0.4, 10, "simulated")
+        assert one_thread.time == 1.0
+
+
+# ----------------------------------------------------------------------
+# Miniature end-to-end snapshot build
+# ----------------------------------------------------------------------
+def test_build_snapshot_end_to_end():
+    """One query per family at the smallest scale: the built document is
+    schema-valid, verified, and gates cleanly against itself."""
+    from repro.bench.snapshot import build_snapshot
+
+    doc = build_snapshot(
+        pr=999,
+        scale_factor=0.002,
+        threads=2,
+        repeats=1,
+        queries_per_family=1,
+        server_duration_s=0.4,
+        server_clients=2,
+    )
+    assert validate_snapshot(doc) == []
+    assert doc["correctness"]["mismatches"] == []
+    assert doc["correctness"]["queries_verified"] == 3
+    for family in ("tpch", "star_ds", "sensor_edge"):
+        entries = doc["families"][family]["queries"]
+        assert len(entries) == 1
+        for entry in entries.values():
+            assert entry["verified"]
+    rerun = copy.deepcopy(doc)
+    rerun["pr"] = 1000
+    report = compare_snapshots(doc, rerun)
+    assert report.ok, report.render()

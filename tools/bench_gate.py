@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: compare a fresh snapshot against the latest
+committed ``BENCH_<pr>.json``.
+
+Correctness (naive-reference mismatches, unverified queries, incorrect
+server results) is always fatal. Wall-time and throughput metrics fail the
+gate when they regress beyond the noise threshold — unless the host
+fingerprint or measurement config differs from the baseline's, or
+``--advisory-wall`` is given (the 1-CPU CI runner), in which case they
+demote to warnings.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_gate.py --current fresh.json
+    PYTHONPATH=src python tools/bench_gate.py --current fresh.json \
+        --baseline benchmarks/snapshots/BENCH_5.json --noise 0.35
+
+Without ``--baseline`` the newest ``BENCH_<n>.json`` in ``--snapshot-dir``
+whose PR number is below the current snapshot's is used; if none exists the
+gate only checks correctness and schema validity (first-snapshot bootstrap).
+
+Exit status: 0 pass, 1 regression or correctness failure, 2 bad arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.bench.snapshot import (  # noqa: E402
+    compare_snapshots,
+    find_latest_snapshot,
+    load_snapshot,
+)
+
+DEFAULT_SNAPSHOT_DIR = os.path.join("benchmarks", "snapshots")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--current", required=True,
+                        help="snapshot JSON produced by tools/bench_snapshot.py")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline snapshot (default: newest committed "
+                             "BENCH_<n>.json below the current PR)")
+    parser.add_argument("--snapshot-dir", default=DEFAULT_SNAPSHOT_DIR)
+    parser.add_argument("--noise", type=float, default=0.35,
+                        help="relative regression threshold (default 0.35)")
+    parser.add_argument("--min-wall-ms", type=float, default=5.0,
+                        help="absolute noise floor in ms (default 5)")
+    parser.add_argument("--advisory-wall", action="store_true",
+                        help="demote wall-time regressions to warnings "
+                             "(correctness stays fatal)")
+    args = parser.parse_args(argv)
+
+    try:
+        current = load_snapshot(args.current)
+    except (OSError, ValueError) as error:
+        print(f"bench gate: cannot load current snapshot: {error}")
+        return 2
+
+    baseline_path = args.baseline or find_latest_snapshot(
+        args.snapshot_dir, before_pr=current["pr"]
+    )
+    if baseline_path is None:
+        mismatches = current["correctness"]["mismatches"]
+        print(
+            f"bench gate: no baseline snapshot in {args.snapshot_dir!r} — "
+            f"bootstrap mode (schema + correctness only)"
+        )
+        if mismatches:
+            for message in mismatches:
+                print(f"  FAIL correctness: {message}")
+            return 1
+        print(
+            f"  ok: {current['correctness']['queries_verified']} queries "
+            f"verified, schema valid"
+        )
+        return 0
+
+    try:
+        baseline = load_snapshot(baseline_path)
+    except (OSError, ValueError) as error:
+        print(f"bench gate: cannot load baseline snapshot: {error}")
+        return 2
+
+    print(
+        f"bench gate: {args.current} (pr {current['pr']}) vs "
+        f"{baseline_path} (pr {baseline['pr']}), "
+        f"noise {args.noise * 100:.0f}%"
+    )
+    report = compare_snapshots(
+        baseline,
+        current,
+        noise=args.noise,
+        min_wall_s=args.min_wall_ms / 1000.0,
+        advisory_wall=args.advisory_wall,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

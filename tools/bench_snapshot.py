@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Produce a ``BENCH_<pr>.json`` benchmark snapshot.
+
+Runs the three registered workload families (TPC-H, star-schema decision
+support, sensor/edge — see ``repro.bench.corpora``) plus a short query-
+service load, and writes a schema-validated snapshot of wall times,
+parallel speedups, server percentiles, plan-cache hit rate and the host
+fingerprint. Every query run is differentially verified against the naive
+oracle under ``verify_plans="strict"``; mismatches are recorded in the
+snapshot and make the process exit 1.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_snapshot.py --pr 6 \
+        --sf 0.01 --out benchmarks/snapshots/BENCH_6.json
+
+    --quick            CI preset: fewer repeats, shorter server load
+    --queries-per-family N   subset each family to its first N queries
+    --families a b     restrict to the named families
+
+Exit status: 0 ok, 1 correctness mismatch, 2 bad arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.bench.corpora import CORPORA  # noqa: E402
+from repro.bench.snapshot import (  # noqa: E402
+    build_snapshot,
+    snapshot_path,
+    write_snapshot,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--pr", type=int, required=True,
+                        help="PR number the snapshot belongs to")
+    parser.add_argument("--sf", type=float, default=0.01,
+                        help="scale factor for every family (default 0.01)")
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed runs per query per mode (min is kept)")
+    parser.add_argument("--queries-per-family", type=int, default=None)
+    parser.add_argument("--families", nargs="+", default=None,
+                        choices=sorted(CORPORA))
+    parser.add_argument("--server-duration", type=float, default=3.0)
+    parser.add_argument("--server-clients", type=int, default=4)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI preset: --repeats 2 --server-duration 2")
+    parser.add_argument("--out", default=None,
+                        help="output path (default benchmarks/snapshots/"
+                             "BENCH_<pr>.json)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.repeats = min(args.repeats, 2)
+        args.server_duration = min(args.server_duration, 2.0)
+
+    doc = build_snapshot(
+        pr=args.pr,
+        scale_factor=args.sf,
+        threads=args.threads,
+        repeats=args.repeats,
+        queries_per_family=args.queries_per_family,
+        families=args.families,
+        server_duration_s=args.server_duration,
+        server_clients=args.server_clients,
+        progress=lambda line: print(line, flush=True),
+    )
+
+    out = args.out or snapshot_path(
+        os.path.join("benchmarks", "snapshots"), args.pr
+    )
+    write_snapshot(doc, out)
+    print(f"snapshot written to {out}")
+
+    mismatches = doc["correctness"]["mismatches"]
+    if mismatches:
+        print(f"CORRECTNESS FAILURES ({len(mismatches)}):")
+        for message in mismatches:
+            print(f"  {message}")
+        return 1
+    print(
+        f"{doc['correctness']['queries_verified']} queries verified against "
+        f"the naive reference; server "
+        f"{doc['server']['throughput_qps']} qps "
+        f"p95={doc['server']['latency_ms']['p95']}ms "
+        f"plan-cache hit rate {doc['server']['plan_cache_hit_rate']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
