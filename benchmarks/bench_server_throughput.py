@@ -19,6 +19,11 @@ Usage::
 
     --no-plan-cache / --no-result-cache   ablate the caches
     --threads N                           per-query thread count (simulated)
+    --telemetry-dir DIR                   capture service telemetry (private
+                                          instance, big ring, tight slow
+                                          threshold) and dump flight
+                                          recorder / slow log / full report
+    --slow-ms MS                          slow-query threshold for that dump
 
 Exit status: 0 ok, 1 incorrect results or client errors, 2 deadlock.
 """
@@ -53,6 +58,11 @@ def build_workload():
 
 
 def percentile(values, q):
+    """Exact percentile from raw samples. Note the labeling contract with
+    ``repro.observability.metrics.Histogram``: histogram quantiles are
+    bucket-*upper-bound* approximations (reported as ``pNN <=``), while
+    these are exact — so a histogram p95 may legitimately sit above the
+    exact p95 here, never below it."""
     if not values:
         return 0.0
     return float(np.percentile(np.asarray(values), q))
@@ -198,9 +208,44 @@ def main(argv=None):
     parser.add_argument("--no-plan-cache", action="store_true")
     parser.add_argument("--no-result-cache", action="store_true")
     parser.add_argument("--skip-repeat-bench", action="store_true")
+    parser.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="capture service telemetry into a private instance and dump "
+        "flight_recorder.json / slowlog.json / telemetry.json here",
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=5.0,
+        help="slow-query threshold for the --telemetry-dir capture",
+    )
     args = parser.parse_args(argv)
 
-    db = Database(plan_cache_size=0 if args.no_plan_cache else 256)
+    telemetry = None
+    if args.telemetry_dir:
+        import os
+
+        from repro.observability.telemetry import Telemetry, TelemetryConfig
+
+        os.makedirs(args.telemetry_dir, exist_ok=True)
+        # Private instance, sized so a full load run never rotates events
+        # out of the ring (the CI job asserts zero dropped), with a tight
+        # slow-query threshold so the slow log actually populates.
+        telemetry = Telemetry(
+            TelemetryConfig(
+                enabled=True,
+                ring_capacity=262_144,
+                slow_query_threshold_s=args.slow_ms / 1000.0,
+                slowlog_capacity=256,
+                max_fingerprints=1024,
+            )
+        )
+
+    db = Database(
+        plan_cache_size=0 if args.no_plan_cache else 256,
+        telemetry=telemetry,
+    )
     print(f"loading TPC-H SF {args.sf} ...", flush=True)
     populate_database(db, scale_factor=args.sf, seed=42)
 
@@ -232,6 +277,36 @@ def main(argv=None):
                 f"  {label}: first={numbers['first_ms']}ms "
                 f"warm_p50={numbers['warm_p50_ms']}ms"
             )
+
+    if telemetry is not None:
+        import os
+
+        report["telemetry"] = telemetry.summary()
+        telemetry.recorder.dump_json(
+            os.path.join(args.telemetry_dir, "flight_recorder.json")
+        )
+        with open(
+            os.path.join(args.telemetry_dir, "slowlog.json"),
+            "w",
+            encoding="utf-8",
+        ) as handle:
+            json.dump(
+                {
+                    "stats": telemetry.slowlog.stats(),
+                    "records": telemetry.slowlog.snapshot(),
+                },
+                handle,
+                indent=1,
+            )
+        telemetry.dump(os.path.join(args.telemetry_dir, "telemetry.json"))
+        summary = report["telemetry"]
+        print(
+            f"telemetry: {summary['queries_recorded']} queries, "
+            f"{summary['fingerprints']} fingerprints, "
+            f"{summary['slow_queries']} slow, "
+            f"{summary['events_dropped']} events dropped "
+            f"-> {args.telemetry_dir}"
+        )
 
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:

@@ -14,15 +14,19 @@ Example::
 
 from __future__ import annotations
 
+import itertools
+import time
 from typing import Any, Dict, Optional
 
 import numpy as np
 
 from .baseline import ColumnarEngine, MonolithicEngine, NaiveRowEngine
-from .errors import ReproError
+from .errors import QueryCancelled, ReproError
 from .execution.context import EngineConfig
 from .logical import LogicalPlan, explain_plan
 from .lolepop.engine import LolepopEngine, QueryResult
+from .observability.telemetry import GLOBAL_TELEMETRY, QueryRecord
+from .observability.workload import plan_fingerprint
 from .sql import bind, parse_sql
 from .storage.table import Catalog, Table
 from .types import Schema
@@ -49,6 +53,7 @@ class Database:
         config: Optional[EngineConfig] = None,
         execution_mode: str = "simulated",
         plan_cache_size: int = 256,
+        telemetry=None,
     ):
         self.catalog = Catalog()
         self.config = config or EngineConfig(
@@ -62,6 +67,18 @@ class Database:
         self.plan_cache = (
             PlanCache(plan_cache_size) if plan_cache_size else None
         )
+        #: Service telemetry sink (see
+        #: :mod:`repro.observability.telemetry`): every executed statement
+        #: emits one :class:`~repro.observability.telemetry.QueryRecord`
+        #: into it. Defaults to the process-wide ``GLOBAL_TELEMETRY``; pass
+        #: a private :class:`~repro.observability.telemetry.Telemetry` to
+        #: isolate, or one with ``enabled=False`` to pay a single branch
+        #: per query.
+        self.telemetry = telemetry if telemetry is not None else GLOBAL_TELEMETRY
+        self._direct_ids = itertools.count(1)
+        self._estimator_cache = None
+        if self.plan_cache is not None:
+            self.plan_cache.on_evict = self._on_plan_evict
 
     # ------------------------------------------------------------------
     # Catalog management
@@ -172,9 +189,27 @@ class Database:
         ``EXPLAIN LOLEPOP <select>`` returns the LOLEPOP DAG;
         ``EXPLAIN ANALYZE <select>`` executes the query and returns the DAG
         annotated with actual rows, estimates, and per-operator time."""
-        prepared, cache_hit = self._prepare_cached(query)
+        telemetry = self.telemetry
+        if telemetry is None or not telemetry.enabled:
+            prepared, cache_hit = self._prepare_cached(query)
+            return self.execute_prepared(
+                prepared, engine=engine, config=config, plan_cache_hit=cache_hit
+            )
+        prepare_started = time.perf_counter()
+        try:
+            prepared, cache_hit = self._prepare_cached(query)
+        except Exception as error:
+            self._record_parse_error(
+                query, engine, error, time.perf_counter() - prepare_started
+            )
+            raise
+        parse_bind_s = time.perf_counter() - prepare_started
         return self.execute_prepared(
-            prepared, engine=engine, config=config, plan_cache_hit=cache_hit
+            prepared,
+            engine=engine,
+            config=config,
+            plan_cache_hit=cache_hit,
+            parse_bind_s=parse_bind_s,
         )
 
     def execute_prepared(
@@ -183,13 +218,23 @@ class Database:
         engine: str = "lolepop",
         config: Optional[EngineConfig] = None,
         plan_cache_hit: bool = False,
+        parse_bind_s: float = 0.0,
+        queue_wait_s: float = 0.0,
     ) -> QueryResult:
         """Execute a :class:`~repro.server.cache.PreparedPlan` (from
         :meth:`prepare` or the plan cache) without re-parsing or
-        re-binding. The query service's execution entry point."""
+        re-binding. The query service's execution entry point.
+
+        When telemetry is enabled, every non-EXPLAIN execution (including
+        failures and cancellations) emits one
+        :class:`~repro.observability.telemetry.QueryRecord`; callers that
+        already measured parse/bind or queue time pass it through so the
+        record's latency breakdown is complete.
+        """
         from .sql.ast import ExplainStmt
 
         if isinstance(prepared.statement, ExplainStmt):
+            # EXPLAIN is a diagnostic, not workload: never recorded.
             return self._explain_statement(
                 prepared.statement, prepared.sql, config
             )
@@ -197,16 +242,178 @@ class Database:
             raise ReproError(
                 f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}"
             )
-        runner = _ENGINES[engine](self.catalog, config or self.config)
-        if engine == "lolepop":
-            prepared.executions += 1
-            return runner.run(
-                prepared.plan,
-                query=prepared.sql,
-                prepared=prepared if prepared.cacheable else None,
-                plan_cache_hit=plan_cache_hit,
+        run_config = config or self.config
+        runner = _ENGINES[engine](self.catalog, run_config)
+        telemetry = self.telemetry
+        if telemetry is None or not telemetry.enabled:
+            # Disabled fast path: one branch, no timing, no allocations.
+            if engine == "lolepop":
+                prepared.executions += 1
+                return runner.run(
+                    prepared.plan,
+                    query=prepared.sql,
+                    prepared=prepared if prepared.cacheable else None,
+                    plan_cache_hit=plan_cache_hit,
+                )
+            return runner.run(prepared.plan)
+        execute_started = time.perf_counter()
+        status, error_text, result = "ok", None, None
+        try:
+            if engine == "lolepop":
+                prepared.executions += 1
+                result = runner.run(
+                    prepared.plan,
+                    query=prepared.sql,
+                    prepared=prepared if prepared.cacheable else None,
+                    plan_cache_hit=plan_cache_hit,
+                )
+            else:
+                result = runner.run(prepared.plan)
+        except QueryCancelled as error:
+            status, error_text = "cancelled", str(error)
+            raise
+        except BaseException as error:  # noqa: BLE001 — recorded, re-raised
+            status, error_text = "error", f"{type(error).__name__}: {error}"
+            raise
+        finally:
+            self._record_execution(
+                telemetry,
+                prepared,
+                engine,
+                run_config,
+                result,
+                status,
+                error_text,
+                plan_cache_hit,
+                parse_bind_s,
+                time.perf_counter() - execute_started,
+                queue_wait_s,
             )
-        return runner.run(prepared.plan)
+        return result
+
+    # ------------------------------------------------------------------
+    # Telemetry capture (see repro.observability.telemetry)
+    # ------------------------------------------------------------------
+    def _record_execution(
+        self,
+        telemetry,
+        prepared,
+        engine: str,
+        config: EngineConfig,
+        result: Optional[QueryResult],
+        status: str,
+        error_text: Optional[str],
+        plan_cache_hit: bool,
+        parse_bind_s: float,
+        execute_s: float,
+        queue_wait_s: float,
+    ) -> None:
+        """Build and record the QueryRecord of one execution. Runs in a
+        ``finally``; must never raise (it would mask the query's error)."""
+        try:
+            dags = result.dags if result is not None else []
+            spill = getattr(result, "spill", None) or {}
+            record = QueryRecord(
+                getattr(config, "query_id", None) or f"d{next(self._direct_ids)}",
+                telemetry.truncate_sql(prepared.normalized),
+                plan_fingerprint(dags, prepared.normalized, engine),
+                engine=engine,
+                session_id=getattr(config, "session_id", None) or "-",
+                status=status,
+                error=error_text,
+                rows=len(result.batch) if result is not None else 0,
+                plan_cache_hit=plan_cache_hit,
+                parse_bind_s=parse_bind_s,
+                translate_s=getattr(result, "translate_s", 0.0) or 0.0,
+                execute_s=execute_s,
+                total_s=parse_bind_s + execute_s,
+                queue_wait_s=queue_wait_s,
+                spill_bytes_written=spill.get("bytes_written", 0),
+                spill_bytes_read=spill.get("bytes_read", 0),
+                max_q_error=self._max_q_error(prepared, result),
+            )
+            telemetry.record_query(record)
+        except Exception:  # noqa: BLE001 — telemetry never takes queries down
+            pass
+
+    def _record_parse_error(
+        self, query: str, engine: str, error: BaseException, elapsed_s: float
+    ) -> None:
+        """Record a statement that failed before it had a plan (parse/bind
+        error): the fingerprint falls back to the normalized SQL text."""
+        from .server.cache import normalize_sql
+
+        try:
+            telemetry = self.telemetry
+            normalized = normalize_sql(query)
+            telemetry.record_query(
+                QueryRecord(
+                    f"d{next(self._direct_ids)}",
+                    telemetry.truncate_sql(normalized),
+                    plan_fingerprint([], normalized, engine),
+                    engine=engine,
+                    status="error",
+                    error=f"{type(error).__name__}: {error}",
+                    parse_bind_s=elapsed_s,
+                    total_s=elapsed_s,
+                )
+            )
+        except Exception:  # noqa: BLE001
+            pass
+
+    def _max_q_error(self, prepared, result) -> Optional[float]:
+        """Per-query max Q-error, always on: node-level (same number as the
+        EXPLAIN ANALYZE summary) when a profile was collected, else the
+        root-level Q-error against a cached per-plan estimate — one
+        estimator call per *prepared plan*, not per execution."""
+        if result is None or prepared.plan is None:
+            return None
+        try:
+            from .observability.analyze import profile_max_q_error, q_error
+
+            if result.profile is not None and result.dags:
+                worst = profile_max_q_error(
+                    result.profile, self._telemetry_estimator()
+                )
+                if worst is not None:
+                    return worst
+            if prepared.est_rows is None:
+                try:
+                    prepared.est_rows = max(
+                        0.0,
+                        float(self._telemetry_estimator().rows(prepared.plan)),
+                    )
+                except Exception:  # noqa: BLE001 — remember the failure
+                    prepared.est_rows = -1.0
+            if prepared.est_rows >= 0.0:
+                return q_error(prepared.est_rows, len(result.batch))
+        except Exception:  # noqa: BLE001
+            return None
+        return None
+
+    def _telemetry_estimator(self):
+        """Cardinality estimator cached per catalog version (statistics
+        sampling is too expensive to redo per query)."""
+        version = self.catalog.version
+        cached = self._estimator_cache
+        if cached is None or cached[0] != version:
+            from .logical.cardinality import CardinalityEstimator
+            from .stats import StatisticsCache
+
+            self._estimator_cache = (
+                version,
+                CardinalityEstimator(StatisticsCache(self.catalog)),
+            )
+        return self._estimator_cache[1]
+
+    def _on_plan_evict(self, key, entry) -> None:
+        """Plan-cache capacity eviction → flight-recorder breadcrumb."""
+        self.telemetry.event(
+            "cache.evict",
+            cache="plan",
+            sql=self.telemetry.truncate_sql(key[0]),
+            catalog_version=key[1],
+        )
 
     def _explain_statement(self, stmt, query: str, config=None) -> QueryResult:
         from .storage.batch import Batch

@@ -45,7 +45,10 @@ SCHEMA_VERSION = 1
 #:     server: {throughput_qps: float >= 0, completed: int >= 0,
 #:              incorrect: int >= 0,
 #:              latency_ms: {p50, p95, p99, mean: float >= 0},
-#:              plan_cache_hit_rate: float in [0, 1]}
+#:              plan_cache_hit_rate: float in [0, 1],
+#:              telemetry?: {queries_recorded, events_recorded,
+#:                           events_dropped, fingerprints,
+#:                           slow_queries: int >= 0}}  (optional block)
 #:     correctness: {queries_verified: int >= 0, mismatches: [str]}
 SNAPSHOT_SPEC = "see module docstring"
 
@@ -179,6 +182,23 @@ def validate_snapshot(doc: Any) -> List[str]:
         )
         if rate is not None and not 0.0 <= rate <= 1.0:
             errors.append("$.server.plan_cache_hit_rate: must be in [0, 1]")
+        # Optional service-telemetry summary (absent in pre-PR-7 snapshots;
+        # the gate never compares it, but a malformed block is still a bug).
+        if "telemetry" in server:
+            telemetry = _expect(errors, server, "telemetry", (dict,), "$.server")
+            if telemetry is not None:
+                for key in (
+                    "queries_recorded",
+                    "events_recorded",
+                    "events_dropped",
+                    "fingerprints",
+                    "slow_queries",
+                ):
+                    value = _expect(
+                        errors, telemetry, key, (int,), "$.server.telemetry"
+                    )
+                    if value is not None and value < 0:
+                        errors.append(f"$.server.telemetry.{key}: must be >= 0")
 
     correctness = _expect(errors, doc, "correctness", (dict,), "$")
     if correctness is not None:
@@ -209,16 +229,24 @@ def _measure_server(
 ) -> Dict[str, Any]:
     """A compact QueryService load run: N client threads over a repeated
     TPC-H mix, reference-verified, reporting throughput + percentiles +
-    plan-cache hit rate."""
+    plan-cache hit rate + a service-telemetry summary (the load run doubles
+    as an end-to-end check that the always-on telemetry path records under
+    concurrency)."""
     import threading
 
     import numpy as np
 
     from ..api import Database
+    from ..observability.telemetry import Telemetry, TelemetryConfig
     from ..server import QueryService, ServiceConfig
     from ..tpch import TPCH_QUERIES, populate_database
 
-    db = Database()
+    # Private instance so the snapshot never reads events recorded by other
+    # code in the same process (tests, earlier runs against the global).
+    telemetry = Telemetry(
+        TelemetryConfig(enabled=True, ring_capacity=65_536)
+    )
+    db = Database(telemetry=telemetry)
     populate_database(db, scale_factor=scale_factor, seed=42)
     mix = [
         "SELECT count(*) FROM lineitem",
@@ -276,6 +304,7 @@ def _measure_server(
     hit_rate = 0.0
     if stats.get("plan_cache"):
         hit_rate = float(stats["plan_cache"].get("hit_rate", 0.0))
+    summary = telemetry.summary()
     return {
         "throughput_qps": round(counts["completed"] / wall, 2) if wall else 0.0,
         "completed": counts["completed"],
@@ -289,6 +318,13 @@ def _measure_server(
             ),
         },
         "plan_cache_hit_rate": round(hit_rate, 4),
+        "telemetry": {
+            "queries_recorded": summary["queries_recorded"],
+            "events_recorded": summary["events_recorded"],
+            "events_dropped": summary["events_dropped"],
+            "fingerprints": summary["fingerprints"],
+            "slow_queries": summary["slow_queries"],
+        },
     }
 
 
@@ -312,7 +348,14 @@ def build_snapshot(
     standard noise-resistant choice). Every run's canonicalized rows are
     compared against the naive oracle — a mismatch lands in
     ``correctness.mismatches`` and marks the query ``verified: false``.
+
+    The timed corpus loops run under ``GLOBAL_TELEMETRY.disabled()`` so the
+    recorded wall times measure the engine, not the (always-on by default)
+    telemetry path — keeping them comparable with pre-telemetry snapshots.
+    The server load run instead measures *with* telemetry enabled on a
+    private instance and embeds its summary in ``server.telemetry``.
     """
+    from ..observability.telemetry import GLOBAL_TELEMETRY
     from .corpora import CORPORA, canonical_rows, reference_answers
 
     wanted = families if families is not None else list(CORPORA)
@@ -345,10 +388,11 @@ def build_snapshot(
                     verify_plans="strict",
                 )
                 best = float("inf")
-                for _ in range(repeats):
-                    start = time.perf_counter()
-                    result = db.sql(sql, config=config)
-                    best = min(best, time.perf_counter() - start)
+                with GLOBAL_TELEMETRY.disabled():
+                    for _ in range(repeats):
+                        start = time.perf_counter()
+                        result = db.sql(sql, config=config)
+                        best = min(best, time.perf_counter() - start)
                 entry[key] = round(best, 6)
                 rows = len(result)
                 if canonical_rows(result) != references[name]:

@@ -54,6 +54,8 @@ class EngineConfig:
         cost_based_distinct: bool = False,
         # --- service layer -------------------------------------------------
         cancellation=None,
+        query_id: Optional[str] = None,
+        session_id: Optional[str] = None,
         # --- static plan verifier ------------------------------------------
         verify_plans: Optional[str] = None,
     ):
@@ -102,6 +104,12 @@ class EngineConfig:
         #: schedulers check it when entering every region barrier, raising
         #: :class:`~repro.errors.QueryCancelled` on cancel/timeout.
         self.cancellation = cancellation
+        #: Attribution stamped by the query service (``"q7"`` / ``"s2"``):
+        #: propagated onto the execution trace (→ Chrome-trace span args)
+        #: and into telemetry query records. Not part of
+        #: :meth:`translation_fingerprint` — ids never change the plan.
+        self.query_id = query_id
+        self.session_id = session_id
         #: Static plan verifier mode (see :data:`VERIFY_MODES`). ``None``
         #: resolves from ``REPRO_VERIFY_PLANS`` (default ``off``); the test
         #: suite and CI set ``on``. Deliberately *not* part of
@@ -147,6 +155,9 @@ class ExecutionContext:
     def __init__(self, config: Optional[EngineConfig] = None):
         self.config = config or EngineConfig()
         self.trace = ExecutionTrace() if self.config.collect_trace else None
+        if self.trace is not None:
+            self.trace.query_id = self.config.query_id
+            self.trace.session_id = self.config.session_id
         if self.config.execution_mode == "parallel":
             self.scheduler = ParallelScheduler(
                 self.config.num_threads, self.trace, self.config.cancellation

@@ -45,6 +45,12 @@ class ExecutionTrace:
         #: Region-level spans (one per scheduling barrier), on top of the
         #: per-work-item records; exported as a separate Chrome-trace lane.
         self.regions: List[RegionSpan] = []
+        #: Attribution of the query this trace belongs to, set from
+        #: ``EngineConfig.query_id`` / ``session_id`` by the execution
+        #: context — the query service stamps them so Chrome traces from
+        #: concurrent clients stay attributable per query.
+        self.query_id: Optional[str] = None
+        self.session_id: Optional[str] = None
 
     def add(self, record: TraceRecord) -> None:
         self.records.append(record)

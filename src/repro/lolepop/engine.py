@@ -10,6 +10,7 @@ SOURCE thunk re-enters the engine.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 from ..errors import ExecutionError
@@ -35,6 +36,8 @@ class QueryResult:
         trace: Optional[ExecutionTrace],
         dags: List[Dag],
         profile=None,
+        spill=None,
+        translate_s: float = 0.0,
     ):
         #: All output rows as one batch.
         self.batch = batch
@@ -53,6 +56,15 @@ class QueryResult:
         #: :class:`~repro.observability.metrics.QueryProfile` when the run
         #: was configured with ``collect_metrics=True``; ``None`` otherwise.
         self.profile = profile
+        #: Spill counters dict (``bytes_written``/``bytes_read``/``events``/
+        #: ``loads``) for LOLEPOP runs — present even without a profile so
+        #: the telemetry layer can record spill per query; ``None`` for the
+        #: baseline engines (they never spill).
+        self.spill = spill
+        #: Seconds spent translating statistics regions into LOLEPOP DAGs
+        #: during this run (~0 on a plan-cache template hit). Part of the
+        #: telemetry latency breakdown.
+        self.translate_s = translate_s
 
     @property
     def schema(self):
@@ -167,6 +179,8 @@ class LolepopEngine:
             runner.ctx.trace,
             runner.dags,
             profile=profile,
+            spill=spill,
+            translate_s=runner.translate_time,
         )
 
     @staticmethod
@@ -208,6 +222,9 @@ class _Runner:
         self.catalog = catalog
         self.ctx = ExecutionContext(config)
         self.dags: List[Dag] = []
+        #: Seconds spent in translate_statistics across all regions of this
+        #: run (zero when every region came from a cached DAG template).
+        self.translate_time = 0.0
         self._estimator = None
         #: Plan-cache entry whose ``dag_templates`` this run reads/extends;
         #: ``None`` when the query did not come through the cache.
@@ -240,9 +257,11 @@ class _Runner:
     def _handle_statistics(self, plan: LogicalPlan) -> List[Batch]:
         dag = self._cached_dag(plan)
         if dag is None:
+            translate_started = time.perf_counter()
             dag = translate_statistics(
                 plan, self.execute_stream, self.ctx.config, self.estimator
             )
+            self.translate_time += time.perf_counter() - translate_started
             if self._prepared is not None:
                 # Store a pristine template (cloned before execution can
                 # mutate node state) for future runs of this statement;

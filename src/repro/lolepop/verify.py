@@ -308,6 +308,17 @@ def verify_dag(
             ids = {id(n): i for i, n in enumerate(dag.nodes)}
         where = f" ({context})" if context else ""
         lines = "\n".join("  " + d.render(ids) for d in diagnostics)
+        try:  # flight-recorder breadcrumb (lazy import: no cycle, no cost
+            from ..observability.telemetry import GLOBAL_TELEMETRY  # when off)
+
+            GLOBAL_TELEMETRY.event(
+                "verifier.diagnostic",
+                context=context or "-",
+                count=len(diagnostics),
+                codes=sorted({d.code for d in diagnostics}),
+            )
+        except Exception:  # noqa: BLE001 — telemetry never masks the error
+            pass
         raise PlanVerificationError(
             f"plan verification failed{where}: "
             f"{len(diagnostics)} diagnostic(s)\n{lines}",

@@ -15,6 +15,11 @@ makes that visible at every layer:
   ``trace_event`` JSON loadable in ``chrome://tracing`` / Perfetto.
 - :func:`render_analyze` — the ``EXPLAIN ANALYZE`` DAG annotation (actual
   rows vs. cardinality estimates, per-op time share, max Q-error).
+- :class:`Telemetry` / ``GLOBAL_TELEMETRY`` — always-on *service*
+  telemetry: the :class:`FlightRecorder` event ring, the slow-query log,
+  the plan-fingerprinted :class:`WorkloadStats` profiler with Q-error
+  drift tracking, and the health time series (shell ``.health`` /
+  ``.slowlog`` / ``.fingerprints``; ``tools/telemetry_report.py``).
 """
 
 from .metrics import (
@@ -28,6 +33,17 @@ from .metrics import (
 )
 from .chrome import chrome_trace_events, validate_trace_events, write_chrome_trace
 from .analyze import estimate_dag_rows, render_analyze
+from .events import EVENT_KINDS, FlightRecorder, TelemetryEvent
+from .workload import TemplateStats, WorkloadStats, plan_fingerprint
+from .telemetry import (
+    GLOBAL_TELEMETRY,
+    HealthSampler,
+    QueryRecord,
+    SlowQueryLog,
+    Telemetry,
+    TelemetryConfig,
+    render_report,
+)
 
 __all__ = [
     "GLOBAL_METRICS",
@@ -42,4 +58,17 @@ __all__ = [
     "write_chrome_trace",
     "estimate_dag_rows",
     "render_analyze",
+    "EVENT_KINDS",
+    "FlightRecorder",
+    "TelemetryEvent",
+    "TemplateStats",
+    "WorkloadStats",
+    "plan_fingerprint",
+    "GLOBAL_TELEMETRY",
+    "HealthSampler",
+    "QueryRecord",
+    "SlowQueryLog",
+    "Telemetry",
+    "TelemetryConfig",
+    "render_report",
 ]

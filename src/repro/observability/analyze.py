@@ -99,6 +99,26 @@ def q_error(estimate: Optional[float], actual: int) -> Optional[float]:
     return max(est / act, act / est)
 
 
+def profile_max_q_error(profile, estimator) -> Optional[float]:
+    """The worst node-level Q-error across every DAG of a
+    :class:`~repro.observability.metrics.QueryProfile` — the same number
+    EXPLAIN ANALYZE's summary line reports, exposed for the telemetry
+    layer's per-query :class:`~repro.observability.telemetry.QueryRecord`.
+    Returns ``None`` when no node has both an estimate and stats.
+    """
+    worst: Optional[float] = None
+    for dag in profile.dags:
+        estimates = estimate_dag_rows(dag, estimator)
+        for node in dag.topological_order():
+            stats = getattr(node, "stats", None)
+            if stats is None:
+                continue
+            node_q = q_error(estimates.get(id(node)), stats.rows_out)
+            if node_q is not None and (worst is None or node_q > worst):
+                worst = node_q
+    return worst
+
+
 def _format_bytes(num: float) -> str:
     for unit in ("B", "KB", "MB", "GB"):
         if abs(num) < 1024.0 or unit == "GB":

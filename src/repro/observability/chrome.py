@@ -25,6 +25,14 @@ def chrome_trace_events(trace) -> List[dict]:
     """An :class:`~repro.execution.trace.ExecutionTrace` as a list of Chrome
     ``trace_event`` dicts (times converted from seconds to microseconds)."""
     events: List[dict] = []
+    # Query/session attribution (stamped by the query service via
+    # EngineConfig.query_id/session_id): merged into every span's args so
+    # traces from concurrent clients remain attributable per query.
+    attribution = {}
+    if getattr(trace, "query_id", None) is not None:
+        attribution["query_id"] = trace.query_id
+    if getattr(trace, "session_id", None) is not None:
+        attribution["session"] = trace.session_id
     for record in trace.records:
         events.append(
             {
@@ -34,7 +42,7 @@ def chrome_trace_events(trace) -> List[dict]:
                 "dur": (record.end - record.start) * 1e6,
                 "pid": WORKER_PID,
                 "tid": record.thread,
-                "args": {"phase": record.phase},
+                "args": {"phase": record.phase, **attribution},
             }
         )
     for span in getattr(trace, "regions", ()):
@@ -46,7 +54,7 @@ def chrome_trace_events(trace) -> List[dict]:
                 "dur": (span.end - span.start) * 1e6,
                 "pid": REGION_PID,
                 "tid": 0,
-                "args": {"phase": span.phase, "items": span.items},
+                "args": {"phase": span.phase, "items": span.items, **attribution},
             }
         )
     return events

@@ -105,8 +105,19 @@ class Histogram:
         return self.sum / self.total if self.total else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile: the upper bound of the bucket holding the
-        q-th observation (conservative; exact enough for dashboards)."""
+        """Approximate quantile: the **upper bound** of the bucket holding
+        the q-th observation.
+
+        This is deliberately conservative (it over-reports): the true
+        quantile lies somewhere inside the bucket, so the returned value is
+        a guaranteed upper bound whose error is the bucket width. Exact
+        percentiles require raw samples, which a fixed-bucket histogram
+        does not keep — ``benchmarks/bench_server_throughput.py`` computes
+        exact ``p50/p95/p99`` from its own raw latency list, so its numbers
+        can legitimately sit *below* the histogram's. Report histogram
+        quantiles as ``p95 <= value`` (see the ``quantiles`` block in
+        :meth:`to_dict`), never as exact.
+        """
         if self.total == 0:
             return 0.0
         target = q * self.total
@@ -129,6 +140,15 @@ class Histogram:
                 for bound, count in zip(self.bounds, self.counts)
             },
             "overflow": self.counts[-1],
+            # Bucket-upper-bound approximations (see quantile()): each value
+            # is a guaranteed upper bound on the true percentile, labeled
+            # "p50"/"p95"/"p99" to line up with the exact raw-sample
+            # percentiles bench_server_throughput reports.
+            "quantiles": {
+                "p50": self.quantile(0.50),
+                "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99),
+            },
         }
 
 

@@ -1,0 +1,577 @@
+"""Always-on service telemetry: the capture layer behind the flight
+recorder, the slow-query log, the plan-fingerprinted workload profiler,
+and the health time series.
+
+PR 2 made a *single query* observable (EXPLAIN ANALYZE, Chrome traces);
+this module makes the *service* observable: once a query finishes, a
+compact :class:`QueryRecord` survives it — normalized SQL, plan
+fingerprint, parse/bind/translate/execute latency breakdown, rows, spill,
+cache flags, max Q-error — and feeds three bounded sinks:
+
+- the :class:`~repro.observability.events.FlightRecorder` ring buffer
+  (incident reconstruction: what happened, in order, just now);
+- the :class:`SlowQueryLog` (full records for queries over a latency
+  threshold);
+- :class:`~repro.observability.workload.WorkloadStats` (per-template
+  streaming latency/Q-error aggregates, the adaptive re-planning signal).
+
+A :class:`HealthSampler` thread owned by each
+:class:`~repro.server.service.QueryService` additionally appends periodic
+:class:`HealthSample` points (queue depth, in-flight memory, cache hit
+rates, spill counters) into the telemetry's bounded health series.
+
+Cost model: when :attr:`Telemetry.enabled` is ``False`` every entry point
+returns after one attribute check, so a disabled server pays one branch
+per query. When enabled, the per-query cost is one DAG-shape hash, a few
+dict/deque updates under short locks, and (once per distinct prepared
+plan) one cardinality estimate — all per *query*, never per row. Memory is
+bounded everywhere: ring capacity, slow-log capacity, fingerprint-table
+capacity, health-series capacity.
+
+:data:`GLOBAL_TELEMETRY` is the process-wide instance
+(:class:`~repro.api.Database` and the service default to it); tests and
+benchmarks construct private instances. Environment overrides:
+``REPRO_TELEMETRY=off`` disables the global instance,
+``REPRO_TELEMETRY_SLOW_MS`` sets its slow-query threshold, and
+``REPRO_TELEMETRY_DUMP_DIR`` makes query errors auto-dump the flight
+recorder there.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from .events import FlightRecorder
+from .workload import WorkloadStats, plan_fingerprint
+
+__all__ = [
+    "TelemetryConfig",
+    "QueryRecord",
+    "SlowQueryLog",
+    "HealthSample",
+    "HealthSampler",
+    "Telemetry",
+    "GLOBAL_TELEMETRY",
+    "render_report",
+]
+
+#: Seconds between automatic error dumps (an error storm must not turn the
+#: telemetry layer into a disk-filling loop).
+ERROR_DUMP_MIN_INTERVAL_S = 5.0
+
+
+class TelemetryConfig:
+    """Bounds and thresholds of one :class:`Telemetry` instance."""
+
+    def __init__(
+        self,
+        enabled: Optional[bool] = None,
+        ring_capacity: int = 4096,
+        slow_query_threshold_s: Optional[float] = None,
+        slowlog_capacity: int = 128,
+        max_fingerprints: int = 512,
+        health_capacity: int = 512,
+        max_sql_chars: int = 500,
+        dump_on_error_dir: Optional[str] = None,
+    ):
+        if enabled is None:
+            enabled = os.environ.get("REPRO_TELEMETRY", "on") != "off"
+        if slow_query_threshold_s is None:
+            slow_query_threshold_s = (
+                float(os.environ.get("REPRO_TELEMETRY_SLOW_MS", "1000")) / 1000.0
+            )
+        if dump_on_error_dir is None:
+            dump_on_error_dir = os.environ.get("REPRO_TELEMETRY_DUMP_DIR")
+        self.enabled = enabled
+        self.ring_capacity = ring_capacity
+        #: Queries at or above this end-to-end latency are retained in full
+        #: detail in the slow-query log.
+        self.slow_query_threshold_s = slow_query_threshold_s
+        self.slowlog_capacity = slowlog_capacity
+        self.max_fingerprints = max_fingerprints
+        self.health_capacity = health_capacity
+        #: SQL stored in records/templates is truncated to this length.
+        self.max_sql_chars = max_sql_chars
+        #: When set, a ``query.error`` record dumps the flight recorder
+        #: into this directory (rate-limited).
+        self.dump_on_error_dir = dump_on_error_dir
+
+
+class QueryRecord:
+    """The audit record of one finished (or failed) query."""
+
+    __slots__ = (
+        "query_id", "session_id", "sql", "fingerprint", "engine", "status",
+        "error", "rows", "plan_cache_hit", "result_cache_hit",
+        "parse_bind_s", "translate_s", "execute_s", "total_s",
+        "queue_wait_s", "spill_bytes_written", "spill_bytes_read",
+        "max_q_error", "wall",
+    )
+
+    def __init__(
+        self,
+        query_id: str,
+        sql: str,
+        fingerprint: str,
+        engine: str = "lolepop",
+        session_id: str = "-",
+        status: str = "ok",
+        error: Optional[str] = None,
+        rows: int = 0,
+        plan_cache_hit: bool = False,
+        result_cache_hit: bool = False,
+        parse_bind_s: float = 0.0,
+        translate_s: float = 0.0,
+        execute_s: float = 0.0,
+        total_s: float = 0.0,
+        queue_wait_s: float = 0.0,
+        spill_bytes_written: int = 0,
+        spill_bytes_read: int = 0,
+        max_q_error: Optional[float] = None,
+    ):
+        self.query_id = query_id
+        self.session_id = session_id
+        self.sql = sql
+        self.fingerprint = fingerprint
+        self.engine = engine
+        #: ``ok`` | ``error`` | ``cancelled``.
+        self.status = status
+        self.error = error
+        self.rows = rows
+        self.plan_cache_hit = plan_cache_hit
+        self.result_cache_hit = result_cache_hit
+        #: Latency breakdown, seconds. ``parse_bind_s`` is ~0 on a
+        #: plan-cache hit; ``translate_s`` is ~0 on a DAG-template reuse.
+        self.parse_bind_s = parse_bind_s
+        self.translate_s = translate_s
+        self.execute_s = execute_s
+        self.total_s = total_s
+        self.queue_wait_s = queue_wait_s
+        self.spill_bytes_written = spill_bytes_written
+        self.spill_bytes_read = spill_bytes_read
+        #: Worst node-level Q-error when a profile was collected, else the
+        #: root-level Q-error from the cached plan estimate; ``None`` when
+        #: no estimate exists (DDL, EXPLAIN, estimator failure).
+        self.max_q_error = max_q_error
+        self.wall = time.time()
+
+    def to_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class SlowQueryLog:
+    """Bounded log of full :class:`QueryRecord` detail for slow queries."""
+
+    def __init__(self, capacity: int = 128, threshold_s: float = 1.0):
+        if capacity < 1:
+            raise ValueError("slow-query log capacity must be positive")
+        self.capacity = capacity
+        self.threshold_s = threshold_s
+        self._records: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        #: Queries that crossed the threshold (including rotated-out ones).
+        self.observed = 0
+
+    def observe(self, record: QueryRecord) -> bool:
+        """Retain ``record`` if it is slow; returns whether it was."""
+        if record.total_s < self.threshold_s:
+            return False
+        with self._lock:
+            self.observed += 1
+            self._records.append(record)
+        return True
+
+    def snapshot(self, last: Optional[int] = None) -> List[dict]:
+        """Retained records as dicts, oldest first."""
+        with self._lock:
+            records = list(self._records)
+        if last is not None:
+            records = records[-last:]
+        return [record.to_dict() for record in records]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "threshold_s": self.threshold_s,
+                "retained": len(self._records),
+                "observed": self.observed,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self.observed = 0
+
+
+class HealthSample(dict):
+    """One point of the service health time series (a plain dict subclass
+    so it serializes directly; keys documented in :meth:`HealthSampler.sample_now`)."""
+
+
+class HealthSampler:
+    """Background sampler of one query service's health gauges.
+
+    Owned by a :class:`~repro.server.service.QueryService`; every
+    ``interval_s`` it appends one :class:`HealthSample` into the telemetry's
+    bounded health series. ``sample_now()`` takes one sample synchronously
+    (tests, the shell's ``.health``). The thread is a daemon and stops at
+    service shutdown.
+    """
+
+    def __init__(self, service, telemetry: "Telemetry", interval_s: float = 1.0):
+        self.service = service
+        self.telemetry = telemetry
+        self.interval_s = interval_s
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def sample_now(self) -> HealthSample:
+        """Take one sample and append it to the telemetry health series."""
+        service = self.service
+        sample = HealthSample(
+            ts=time.monotonic(),
+            wall=time.time(),
+            queue_depth=service.admission.queue_depth,
+            running=service.admission.running,
+            reserved_bytes=service.admission.reserved_bytes,
+            memory_budget_bytes=service.config.memory_budget_bytes,
+        )
+        if service.db.plan_cache is not None:
+            sample["plan_cache_hit_rate"] = service.db.plan_cache.hit_rate
+            sample["plan_cache_size"] = len(service.db.plan_cache)
+        if service.result_cache is not None:
+            sample["result_cache_hit_rate"] = service.result_cache.hit_rate
+            sample["result_cache_size"] = len(service.result_cache)
+        # Spill totals are fed into the process-wide registry by the engine
+        # (see LolepopEngine._feed_global_metrics), not the service's own.
+        from .metrics import GLOBAL_METRICS
+
+        sample["spill_bytes_written"] = GLOBAL_METRICS.counter(
+            "spill.bytes_written"
+        ).value
+        self.telemetry.record_health(sample)
+        return sample
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None or self.interval_s <= 0:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-health-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=self.interval_s + 1.0)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.sample_now()
+            except Exception:  # noqa: BLE001 — the sampler must never kill
+                pass  # the service; a failed sample is just a gap.
+
+
+class Telemetry:
+    """One telemetry domain: recorder + slow log + workload + health."""
+
+    def __init__(self, config: Optional[TelemetryConfig] = None):
+        self.config = config or TelemetryConfig()
+        self.enabled = self.config.enabled
+        self.recorder = FlightRecorder(self.config.ring_capacity)
+        self.slowlog = SlowQueryLog(
+            self.config.slowlog_capacity, self.config.slow_query_threshold_s
+        )
+        self.workload = WorkloadStats(self.config.max_fingerprints)
+        self._health: deque = deque(maxlen=self.config.health_capacity)
+        self._health_lock = threading.Lock()
+        self._last_error_dump = 0.0
+        #: Total query records observed (all of them, not just slow ones).
+        self.queries_recorded = 0
+
+    # ------------------------------------------------------------------
+    # Enablement
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    @contextmanager
+    def disabled(self):
+        """Temporarily disable recording (timed benchmark sections)."""
+        previous = self.enabled
+        self.enabled = False
+        try:
+            yield self
+        finally:
+            self.enabled = previous
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def event(self, kind: str, **fields) -> None:
+        """Append one flight-recorder event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.recorder.record(kind, **fields)
+
+    def truncate_sql(self, sql: str) -> str:
+        limit = self.config.max_sql_chars
+        return sql if len(sql) <= limit else sql[: limit - 3] + "..."
+
+    def record_query(self, record: QueryRecord) -> None:
+        """Feed one finished query into every sink (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.queries_recorded += 1
+        is_error = record.status == "error"
+        kind = {
+            "ok": "query.finish",
+            "error": "query.error",
+            "cancelled": "query.cancel",
+        }.get(record.status, "query.finish")
+        self.recorder.record(
+            kind,
+            query_id=record.query_id,
+            session_id=record.session_id,
+            fingerprint=record.fingerprint,
+            engine=record.engine,
+            rows=record.rows,
+            total_s=record.total_s,
+            plan_cache_hit=record.plan_cache_hit,
+            result_cache_hit=record.result_cache_hit,
+            **({"error": record.error} if record.error else {}),
+        )
+        if record.spill_bytes_written or record.spill_bytes_read:
+            self.recorder.record(
+                "spill",
+                query_id=record.query_id,
+                bytes_written=record.spill_bytes_written,
+                bytes_read=record.spill_bytes_read,
+            )
+        self.workload.observe(
+            record.fingerprint,
+            record.sql,
+            record.engine,
+            record.total_s,
+            q_error=record.max_q_error,
+            error=is_error,
+            plan_cache_hit=record.plan_cache_hit,
+            spill_bytes=record.spill_bytes_written,
+            rows=record.rows,
+        )
+        self.slowlog.observe(record)
+        if is_error and self.config.dump_on_error_dir:
+            self._dump_on_error(record)
+
+    def record_health(self, sample: Dict) -> None:
+        if not self.enabled:
+            return
+        with self._health_lock:
+            self._health.append(dict(sample))
+
+    # ------------------------------------------------------------------
+    def _dump_on_error(self, record: QueryRecord) -> None:
+        now = time.monotonic()
+        if now - self._last_error_dump < ERROR_DUMP_MIN_INTERVAL_S:
+            return
+        self._last_error_dump = now
+        try:
+            directory = self.config.dump_on_error_dir
+            os.makedirs(directory, exist_ok=True)
+            path = os.path.join(
+                directory, f"flight_{record.query_id}_{int(time.time())}.json"
+            )
+            self.recorder.dump_json(path)
+        except OSError:
+            pass  # diagnostics must never take the query path down
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health_snapshot(self, last: Optional[int] = None) -> List[dict]:
+        with self._health_lock:
+            samples = list(self._health)
+        if last is not None:
+            samples = samples[-last:]
+        return samples
+
+    def report(
+        self, top: int = 20, drift_threshold: float = 2.0
+    ) -> dict:
+        """One JSON-serializable service-telemetry report."""
+        health = self.health_snapshot()
+        return {
+            "schema": 1,
+            "enabled": self.enabled,
+            "created_utc": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            "queries_recorded": self.queries_recorded,
+            "flight_recorder": self.recorder.stats(),
+            "slow_queries": {
+                **self.slowlog.stats(),
+                "records": self.slowlog.snapshot(),
+            },
+            "workload": self.workload.snapshot(top=top),
+            "drifting": [
+                {
+                    "fingerprint": fingerprint,
+                    "drift_ratio": entry.drift_ratio(),
+                    "q_recent": entry.q_recent,
+                    "q_baseline_mean": entry.q_baseline.mean,
+                    "count": entry.count,
+                    "example_sql": entry.example_sql,
+                }
+                for fingerprint, entry in self.workload.drifting_templates(
+                    drift_threshold
+                )
+            ],
+            "health": {
+                "capacity": self.config.health_capacity,
+                "samples": health,
+            },
+        }
+
+    def summary(self) -> dict:
+        """Compact roll-up (embedded in benchmark snapshots)."""
+        recorder = self.recorder.stats()
+        return {
+            "queries_recorded": self.queries_recorded,
+            "events_recorded": recorder["recorded"],
+            "events_dropped": recorder["dropped"],
+            "fingerprints": len(self.workload),
+            "fingerprints_evicted": self.workload.evicted,
+            "slow_queries": self.slowlog.stats()["observed"],
+            "health_samples": len(self.health_snapshot()),
+        }
+
+    def dump(self, path: str) -> dict:
+        """Write ``{"report": ..., "events": [...]}`` to ``path`` (the full
+        state :mod:`tools.telemetry_report` renders offline)."""
+        doc = {"report": self.report(), "events": self.recorder.snapshot()}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=1)
+        return doc
+
+    def reset(self) -> None:
+        self.recorder.reset()
+        self.slowlog.reset()
+        self.workload.reset()
+        with self._health_lock:
+            self._health.clear()
+        self.queries_recorded = 0
+
+
+#: The process-wide telemetry domain (always on unless
+#: ``REPRO_TELEMETRY=off``): :class:`~repro.api.Database` instances and the
+#: query service feed it by default, the shell's ``.health`` / ``.slowlog``
+#: / ``.fingerprints`` read it.
+GLOBAL_TELEMETRY = Telemetry()
+
+
+# ----------------------------------------------------------------------
+# Text rendering (the shell and tools/telemetry_report.py)
+# ----------------------------------------------------------------------
+def _fmt_ms(seconds: Optional[float]) -> str:
+    return "-" if seconds is None else f"{seconds * 1000:.1f}ms"
+
+
+def render_report(doc: dict, width: int = 100) -> str:
+    """Render a :meth:`Telemetry.report` document as text."""
+    lines: List[str] = []
+    recorder = doc["flight_recorder"]
+    lines.append(
+        f"service telemetry — {doc['queries_recorded']} queries recorded "
+        f"({'enabled' if doc.get('enabled', True) else 'disabled'})"
+    )
+    lines.append(
+        f"flight recorder: {recorder['retained']}/{recorder['capacity']} "
+        f"events retained, {recorder['recorded']} recorded, "
+        f"{recorder['dropped']} dropped"
+    )
+    for kind, count in recorder.get("by_kind", {}).items():
+        lines.append(f"  {kind:<20} {count}")
+
+    slow = doc["slow_queries"]
+    lines.append(
+        f"slow queries (>= {slow['threshold_s'] * 1000:.0f}ms): "
+        f"{slow['observed']} observed, {slow['retained']} retained"
+    )
+    for record in slow["records"][-10:]:
+        lines.append(
+            f"  {record['query_id']:<8} {_fmt_ms(record['total_s']):>10} "
+            f"(parse {_fmt_ms(record['parse_bind_s'])}, "
+            f"translate {_fmt_ms(record['translate_s'])}, "
+            f"execute {_fmt_ms(record['execute_s'])}) "
+            f"rows={record['rows']} fp={record['fingerprint']} "
+            f"{record['sql'][:40]!r}"
+        )
+
+    workload = doc["workload"]
+    lines.append(
+        f"workload: {workload['tracked']}/{workload['capacity']} "
+        f"fingerprints tracked, {workload['evicted']} evicted"
+    )
+    for entry in workload["templates"][:15]:
+        q = entry["q_error"]
+        q_text = (
+            f"q-mean={q['mean']:.2f} q-max={entry['q_max']:.2f}"
+            if q["count"]
+            else "q=?"
+        )
+        latency = entry["latency"]
+        quantiles = latency.get("quantiles", {})
+        lines.append(
+            f"  {entry['fingerprint']} n={entry['count']:<6} "
+            f"p50<={_fmt_ms(quantiles.get('p50'))} "
+            f"p95<={_fmt_ms(quantiles.get('p95'))} "
+            f"{q_text} {entry['example_sql'][:45]!r}"
+        )
+
+    drifting = doc.get("drifting", [])
+    if drifting:
+        lines.append(f"drifting templates ({len(drifting)}):")
+        for entry in drifting:
+            lines.append(
+                f"  {entry['fingerprint']} drift x{entry['drift_ratio']:.2f} "
+                f"(baseline {entry['q_baseline_mean']:.2f} -> recent "
+                f"{entry['q_recent']:.2f}, n={entry['count']}) "
+                f"{entry['example_sql'][:40]!r}"
+            )
+    else:
+        lines.append("drifting templates: none")
+
+    health = doc["health"]["samples"]
+    lines.append(f"health samples: {len(health)}")
+    for sample in health[-5:]:
+        plan_rate = sample.get("plan_cache_hit_rate")
+        rate_text = "" if plan_rate is None else f" plan-hit={plan_rate:.2f}"
+        lines.append(
+            f"  queue={sample['queue_depth']} running={sample['running']} "
+            f"reserved={sample['reserved_bytes']:.0f}B"
+            f"{rate_text} spillW={sample.get('spill_bytes_written', 0):.0f}B"
+        )
+    return "\n".join(line[:width] for line in lines)

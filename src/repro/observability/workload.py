@@ -1,0 +1,305 @@
+"""Plan-fingerprinted workload profiling.
+
+A *plan fingerprint* is a stable hash of a query's executed LOLEPOP DAG
+shape: operator names, parameter summaries, and data/anti-dependency edges
+in topological order (plus the engine name). Two queries that differ only
+in literals but translate to the same physical template — the unit the
+plan cache reuses — collide on purpose, so the profiler aggregates by
+*template* rather than by SQL text. Queries without a LOLEPOP DAG (DDL,
+the baseline engines, pure-relational statements) fall back to the
+normalized SQL text.
+
+:class:`WorkloadStats` keeps one bounded table of per-fingerprint streaming
+aggregates: execution count, a latency histogram, and Welford mean/variance
+of the per-query max Q-error, split into a *baseline* (the first
+observations of the template) and an exponentially-weighted *recent* value.
+:meth:`WorkloadStats.drifting_templates` surfaces templates whose recent
+Q-error has degraded relative to their baseline — exactly the trigger
+signal the ROADMAP's adaptive re-planning item needs: a drifting
+fingerprint identifies a plan-cache template whose cardinality model has
+gone stale and should be re-optimized.
+
+Memory is bounded: at most ``capacity`` templates are tracked; beyond that
+the least-recently-updated template is evicted (hot templates survive) and
+the ``evicted`` counter records the loss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from .metrics import Histogram
+
+#: Latency buckets for per-template histograms: log-spaced seconds from
+#: 0.1 ms to 100 s (same span as the metrics default, fewer buckets — the
+#: table holds many histograms).
+TEMPLATE_LATENCY_BUCKETS = (
+    0.0001, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 100.0
+)
+
+#: How many initial Q-error observations form a template's baseline.
+BASELINE_WINDOW = 8
+
+#: EWMA weight of the newest Q-error observation in ``q_recent``.
+RECENT_ALPHA = 0.3
+
+
+def plan_fingerprint(dags, fallback: str, engine: str = "lolepop") -> str:
+    """Hash the shape of the executed LOLEPOP DAGs into a short stable id.
+
+    ``dags`` is the :attr:`~repro.lolepop.engine.QueryResult.dags` list (any
+    iterable of objects with ``topological_order()``); ``fallback`` is the
+    normalized SQL used when there is no DAG to hash. The digest covers,
+    per node in topological order: operator name, ``describe()`` parameter
+    summary, and the indices of its data and ``after`` edges — i.e. the
+    template identity, not the data it ran over.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(engine.encode())
+    hashed_any = False
+    for dag in dags or ():
+        try:
+            order = dag.topological_order()
+        except Exception:
+            continue
+        ids = {id(node): index for index, node in enumerate(order)}
+        for node in order:
+            try:
+                digest.update(node.name().encode())
+                digest.update(b"[")
+                digest.update(node.describe().encode())
+                digest.update(b"]")
+            except Exception:
+                digest.update(type(node).__name__.encode())
+            for dep in node.inputs:
+                digest.update(b"i%d" % ids[id(dep)])
+            for dep in node.after:
+                digest.update(b"a%d" % ids[id(dep)])
+            digest.update(b";")
+        hashed_any = True
+    if not hashed_any:
+        digest.update(b"sql:")
+        digest.update(fallback.encode())
+    return digest.hexdigest()
+
+
+class Welford:
+    """Streaming mean/variance (Welford's online algorithm)."""
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return self.variance ** 0.5
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stddev": self.stddev,
+        }
+
+
+class TemplateStats:
+    """Streaming aggregates for one plan fingerprint."""
+
+    __slots__ = (
+        "fingerprint", "example_sql", "engine", "count", "errors",
+        "latency", "q_stats", "q_baseline", "q_recent", "q_max", "q_last",
+        "plan_cache_hits", "spill_bytes", "rows_out",
+    )
+
+    def __init__(self, fingerprint: str, example_sql: str, engine: str):
+        self.fingerprint = fingerprint
+        #: One representative SQL text (the first seen; truncated upstream).
+        self.example_sql = example_sql
+        self.engine = engine
+        self.count = 0
+        self.errors = 0
+        self.latency = Histogram(TEMPLATE_LATENCY_BUCKETS)
+        #: Welford over every observed per-query max Q-error.
+        self.q_stats = Welford()
+        #: Mean Q-error of the first :data:`BASELINE_WINDOW` observations —
+        #: what the template looked like when its plan was (re)built.
+        self.q_baseline = Welford()
+        #: EWMA of recent Q-errors (``None`` until first observation).
+        self.q_recent: Optional[float] = None
+        self.q_max = 0.0
+        self.q_last: Optional[float] = None
+        self.plan_cache_hits = 0
+        self.spill_bytes = 0
+        self.rows_out = 0
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        latency_s: float,
+        q_error: Optional[float],
+        error: bool = False,
+        plan_cache_hit: bool = False,
+        spill_bytes: int = 0,
+        rows: int = 0,
+    ) -> None:
+        self.count += 1
+        self.errors += int(error)
+        self.plan_cache_hits += int(plan_cache_hit)
+        self.spill_bytes += spill_bytes
+        self.rows_out += rows
+        self.latency.observe(latency_s)
+        if q_error is not None:
+            self.q_stats.add(q_error)
+            if self.q_baseline.count < BASELINE_WINDOW:
+                self.q_baseline.add(q_error)
+            if self.q_recent is None:
+                self.q_recent = q_error
+            else:
+                self.q_recent += RECENT_ALPHA * (q_error - self.q_recent)
+            self.q_last = q_error
+            if q_error > self.q_max:
+                self.q_max = q_error
+
+    # ------------------------------------------------------------------
+    def drift_ratio(self) -> Optional[float]:
+        """``recent EWMA Q-error / baseline mean Q-error`` (both clamped to
+        >= 1, the Q-error floor), or ``None`` without enough observations."""
+        if self.q_recent is None or self.q_baseline.count == 0:
+            return None
+        return max(1.0, self.q_recent) / max(1.0, self.q_baseline.mean)
+
+    def to_dict(self) -> dict:
+        out = {
+            "fingerprint": self.fingerprint,
+            "example_sql": self.example_sql,
+            "engine": self.engine,
+            "count": self.count,
+            "errors": self.errors,
+            "plan_cache_hits": self.plan_cache_hits,
+            "rows_out": self.rows_out,
+            "spill_bytes": self.spill_bytes,
+            "latency": self.latency.to_dict(),
+            "q_error": self.q_stats.to_dict(),
+            "q_baseline_mean": self.q_baseline.mean,
+            "q_recent": self.q_recent,
+            "q_max": self.q_max,
+        }
+        ratio = self.drift_ratio()
+        if ratio is not None:
+            out["drift_ratio"] = ratio
+        return out
+
+
+class WorkloadStats:
+    """Bounded per-fingerprint aggregate table (the workload profiler)."""
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("workload capacity must be positive")
+        self.capacity = capacity
+        self._templates: "OrderedDict[str, TemplateStats]" = OrderedDict()
+        self._lock = threading.Lock()
+        #: Templates dropped because the table was full (the bound held).
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        fingerprint: str,
+        sql: str,
+        engine: str,
+        latency_s: float,
+        q_error: Optional[float] = None,
+        error: bool = False,
+        plan_cache_hit: bool = False,
+        spill_bytes: int = 0,
+        rows: int = 0,
+    ) -> TemplateStats:
+        with self._lock:
+            entry = self._templates.get(fingerprint)
+            if entry is None:
+                entry = TemplateStats(fingerprint, sql, engine)
+                self._templates[fingerprint] = entry
+                while len(self._templates) > self.capacity:
+                    self._templates.popitem(last=False)
+                    self.evicted += 1
+            # Least-recently-updated eviction order.
+            self._templates.move_to_end(fingerprint)
+        entry.observe(
+            latency_s,
+            q_error,
+            error=error,
+            plan_cache_hit=plan_cache_hit,
+            spill_bytes=spill_bytes,
+            rows=rows,
+        )
+        return entry
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._templates)
+
+    def get(self, fingerprint: str) -> Optional[TemplateStats]:
+        with self._lock:
+            return self._templates.get(fingerprint)
+
+    def templates(self) -> List[TemplateStats]:
+        """All tracked templates, most executed first."""
+        with self._lock:
+            entries = list(self._templates.values())
+        return sorted(entries, key=lambda t: -t.count)
+
+    def drifting_templates(
+        self, threshold: float = 2.0, min_count: int = BASELINE_WINDOW + 4
+    ) -> List[Tuple[str, TemplateStats]]:
+        """Templates whose recent Q-error degraded past ``threshold`` times
+        their baseline.
+
+        A template qualifies once it has at least ``min_count`` executions
+        (so the baseline window is full and the EWMA has moved past it) and
+        ``drift_ratio() >= threshold``. This is the adaptive re-planning
+        hook: each returned fingerprint names a plan-cache template whose
+        cardinality feedback says the plan should be re-costed.
+        """
+        out = []
+        for entry in self.templates():
+            if entry.count < min_count:
+                continue
+            ratio = entry.drift_ratio()
+            if ratio is not None and ratio >= threshold:
+                out.append((entry.fingerprint, entry))
+        out.sort(key=lambda pair: -(pair[1].drift_ratio() or 0.0))
+        return out
+
+    def snapshot(self, top: Optional[int] = None) -> dict:
+        entries = self.templates()
+        if top is not None:
+            entries = entries[:top]
+        return {
+            "capacity": self.capacity,
+            "tracked": len(self),
+            "evicted": self.evicted,
+            "templates": [entry.to_dict() for entry in entries],
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._templates.clear()
+            self.evicted = 0

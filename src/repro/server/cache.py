@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 
 def normalize_sql(text: str) -> str:
@@ -88,6 +88,7 @@ class PreparedPlan:
         "cacheable",
         "dag_templates",
         "executions",
+        "est_rows",
     )
 
     def __init__(
@@ -106,6 +107,10 @@ class PreparedPlan:
         self.cacheable = cacheable
         self.dag_templates: Dict[Tuple, object] = {}
         self.executions = 0
+        #: Cached root-cardinality estimate for telemetry Q-error tracking:
+        #: ``None`` = not computed yet, ``< 0`` = estimation failed (don't
+        #: retry every execution). Valid for this entry's catalog version.
+        self.est_rows: Optional[float] = None
 
     def store_template(self, key: Tuple, dag, config) -> None:
         """Insert a pristine clone of ``dag`` as the template for ``key``.
@@ -140,6 +145,12 @@ class _LruCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Optional ``callback(key, value)`` invoked (outside the lock) for
+        #: every capacity eviction — the telemetry layer hooks this to emit
+        #: ``cache.evict`` flight-recorder events. Version-invalidation
+        #: ``clear()`` does not fire it: that is a correctness event, not a
+        #: capacity one.
+        self.on_evict = None
 
     def get(self, key):
         with self._lock:
@@ -152,12 +163,19 @@ class _LruCache:
             return entry
 
     def put(self, key, value) -> None:
+        evicted = []
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted.append(self._entries.popitem(last=False))
                 self.evictions += 1
+        if self.on_evict is not None:
+            for evicted_key, evicted_value in evicted:
+                try:
+                    self.on_evict(evicted_key, evicted_value)
+                except Exception:  # noqa: BLE001 — observers never break puts
+                    pass
 
     def clear(self) -> None:
         with self._lock:

@@ -41,8 +41,14 @@ from typing import Dict, Optional
 from ..errors import AdmissionError, QueryCancelled
 from ..execution.cancellation import CancellationToken
 from ..observability.metrics import GLOBAL_METRICS, MetricsRegistry
+from ..observability.telemetry import (
+    GLOBAL_TELEMETRY,
+    HealthSampler,
+    QueryRecord,
+    Telemetry,
+)
 from .admission import AdmissionController, estimate_memory_bytes
-from .cache import ResultCache
+from .cache import ResultCache, normalize_sql
 from .session import Session
 
 #: Histogram bounds for queue-wait times: finer than the default latency
@@ -66,6 +72,7 @@ class ServiceConfig:
         result_cache_max_rows: int = 100_000,
         default_timeout: Optional[float] = None,
         default_engine: str = "lolepop",
+        health_interval_s: float = 1.0,
     ):
         self.max_concurrent = max_concurrent
         self.max_queue = max_queue
@@ -78,6 +85,10 @@ class ServiceConfig:
         #: Applied to queries submitted without an explicit timeout.
         self.default_timeout = default_timeout
         self.default_engine = default_engine
+        #: Seconds between background health samples (queue depth, memory
+        #: reservation, cache hit rates, spill) appended to the telemetry
+        #: health time series; ``0`` disables the sampler thread.
+        self.health_interval_s = health_interval_s
 
 
 class QueryTicket:
@@ -105,6 +116,7 @@ class QueryTicket:
         self._config = None
         self._cache_key = None
         self._plan_cache_hit = False
+        self._parse_bind_s = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -152,10 +164,20 @@ class QueryService:
         database,
         config: Optional[ServiceConfig] = None,
         registry: Optional[MetricsRegistry] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.db = database
         self.config = config or ServiceConfig()
         self.metrics = registry if registry is not None else GLOBAL_METRICS
+        #: Service telemetry sink. Defaults to the database's (so a private
+        #: Database telemetry captures its service too), falling back to
+        #: the process-wide GLOBAL_TELEMETRY.
+        if telemetry is not None:
+            self.telemetry = telemetry
+        else:
+            self.telemetry = (
+                getattr(database, "telemetry", None) or GLOBAL_TELEMETRY
+            )
         self.admission = AdmissionController(
             self.config.max_concurrent,
             self.config.max_queue,
@@ -181,6 +203,14 @@ class QueryService:
         self._estimator = None
         self._estimator_lock = threading.Lock()
         self._closed = False
+        if self.result_cache is not None:
+            self.result_cache.on_evict = self._on_result_evict
+        #: Background health sampler feeding the telemetry time series.
+        self.health = HealthSampler(
+            self, self.telemetry, self.config.health_interval_s
+        )
+        if self.telemetry.enabled and self.config.health_interval_s > 0:
+            self.health.start()
 
     # ------------------------------------------------------------------
     # Sessions
@@ -225,7 +255,9 @@ class QueryService:
                 else self.config.default_timeout
             )
 
+        prepare_started = time.perf_counter()
         prepared, plan_hit = self.db._prepare_cached(sql)
+        parse_bind_s = time.perf_counter() - prepare_started
         if plan_hit:
             self._count("service.plan_cache_hits")
 
@@ -236,6 +268,14 @@ class QueryService:
         )
         ticket._prepared = prepared
         ticket._engine = engine
+        ticket._parse_bind_s = parse_bind_s
+        if plan_hit:
+            self.telemetry.event(
+                "cache.hit",
+                cache="plan",
+                query_id=ticket.query_id,
+                session_id=ticket.session_id,
+            )
 
         # Result cache: only read-only statements, only when the caller is
         # not asking for fresh traces/metrics.
@@ -256,11 +296,22 @@ class QueryService:
                 ticket.started_at = ticket.submitted_at
                 ticket._finish("done", result=cached)
                 self._count("service.completed")
+                self.telemetry.event(
+                    "cache.hit",
+                    cache="result",
+                    query_id=ticket.query_id,
+                    session_id=ticket.session_id,
+                )
+                self._record_result_cache_hit(ticket, cached, plan_hit)
                 return ticket
 
         token = CancellationToken.with_timeout(timeout, ticket.query_id)
         ticket.token = token
-        ticket._config = base_config.clone(cancellation=token)
+        ticket._config = base_config.clone(
+            cancellation=token,
+            query_id=ticket.query_id,
+            session_id=ticket.session_id,
+        )
         ticket._plan_cache_hit = plan_hit
         if (
             self.config.memory_budget_bytes is not None
@@ -276,6 +327,13 @@ class QueryService:
             run_now = self.admission.admit(ticket)
         except AdmissionError as error:
             self._count("service.rejected")
+            self.telemetry.event(
+                "admission.reject",
+                query_id=ticket.query_id,
+                session_id=ticket.session_id,
+                reason=error.reason,
+                est_bytes=ticket.est_bytes,
+            )
             with self._tickets_lock:
                 self._tickets.pop(ticket.query_id, None)
             ticket._finish("failed", error=error)
@@ -301,11 +359,10 @@ class QueryService:
             # Still queued: it never started, finish it here.
             self._gauge("service.queue_depth", self.admission.queue_depth)
             self._retire(ticket)
-            ticket._finish(
-                "cancelled",
-                error=QueryCancelled("cancelled while queued", query_id),
-            )
+            error = QueryCancelled("cancelled while queued", query_id)
+            ticket._finish("cancelled", error=error)
             self._count("service.cancelled")
+            self._record_cancelled(ticket, error)
             return True
         if ticket.token is not None:
             ticket.token.cancel()
@@ -324,20 +381,37 @@ class QueryService:
         self._histogram(
             "service.queue_wait_seconds", _QUEUE_WAIT_BUCKETS
         ).observe(ticket.queue_wait)
+        self.telemetry.event(
+            "query.start",
+            query_id=ticket.query_id,
+            session_id=ticket.session_id,
+            engine=ticket._engine,
+            queue_wait_s=ticket.queue_wait,
+        )
+        executed = False
         try:
             if ticket.token is not None:
                 ticket.token.check()  # cancelled while queued?
+            # execute_prepared emits this query's QueryRecord (including
+            # error/cancel status) — one record per query, service or not.
+            executed = True
             result = self.db.execute_prepared(
                 ticket._prepared,
                 engine=ticket._engine,
                 config=ticket._config,
                 plan_cache_hit=ticket._plan_cache_hit,
+                parse_bind_s=ticket._parse_bind_s,
+                queue_wait_s=ticket.queue_wait or 0.0,
             )
         except QueryCancelled as error:
             ticket._finish("cancelled", error=error)
             self._count("service.cancelled")
             if ticket.token is not None and ticket.token.expired():
                 self._count("service.timeouts")
+            if not executed:
+                # Died on the pre-execution token check: execute_prepared
+                # never ran, so no record exists yet for this query.
+                self._record_cancelled(ticket, error)
         except BaseException as error:  # noqa: BLE001 — recorded, not lost
             ticket._finish("failed", error=error)
             self._count("service.failed")
@@ -356,6 +430,77 @@ class QueryService:
     def _retire(self, ticket: QueryTicket) -> None:
         with self._tickets_lock:
             self._tickets.pop(ticket.query_id, None)
+
+    # ------------------------------------------------------------------
+    # Telemetry hooks
+    # ------------------------------------------------------------------
+    def _record_result_cache_hit(
+        self, ticket: QueryTicket, result, plan_hit: bool
+    ) -> None:
+        """Result-cache hits never reach ``execute_prepared``, so the
+        service records them itself (status ok, ``result_cache_hit=True``).
+        Must never raise — it runs on the submit path."""
+        if not self.telemetry.enabled:
+            return
+        try:
+            from ..observability.workload import plan_fingerprint
+
+            normalized = normalize_sql(ticket.sql)
+            self.telemetry.record_query(
+                QueryRecord(
+                    ticket.query_id,
+                    self.telemetry.truncate_sql(normalized),
+                    plan_fingerprint(result.dags, normalized, ticket._engine),
+                    engine=ticket._engine,
+                    session_id=ticket.session_id,
+                    status="ok",
+                    rows=len(result.batch),
+                    plan_cache_hit=plan_hit,
+                    result_cache_hit=True,
+                    parse_bind_s=ticket._parse_bind_s,
+                    total_s=ticket.latency or 0.0,
+                )
+            )
+        except Exception:  # noqa: BLE001 — telemetry never breaks submits
+            pass
+
+    def _record_cancelled(self, ticket: QueryTicket, error) -> None:
+        """Queries cancelled *before* execution started (while queued, or
+        on the pre-execution token check) never reach ``execute_prepared``,
+        so the service records them itself. No DAG was executed, so the
+        fingerprint is the SQL-text fallback. Must never raise."""
+        if not self.telemetry.enabled:
+            return
+        try:
+            from ..observability.workload import plan_fingerprint
+
+            normalized = normalize_sql(ticket.sql)
+            self.telemetry.record_query(
+                QueryRecord(
+                    ticket.query_id,
+                    self.telemetry.truncate_sql(normalized),
+                    plan_fingerprint([], normalized, ticket._engine),
+                    engine=ticket._engine,
+                    session_id=ticket.session_id,
+                    status="cancelled",
+                    error=str(error),
+                    plan_cache_hit=ticket._plan_cache_hit,
+                    parse_bind_s=ticket._parse_bind_s,
+                    queue_wait_s=ticket.queue_wait or 0.0,
+                    total_s=ticket._parse_bind_s,
+                )
+            )
+        except Exception:  # noqa: BLE001 — telemetry never breaks the driver
+            pass
+
+    def _on_result_evict(self, key, value) -> None:
+        """Result-cache capacity eviction → flight-recorder breadcrumb."""
+        self.telemetry.event(
+            "cache.evict",
+            cache="result",
+            sql=self.telemetry.truncate_sql(key[0]),
+            engine=key[2],
+        )
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -399,12 +544,14 @@ class QueryService:
             out["plan_cache"] = self.db.plan_cache.stats()
         if self.result_cache is not None:
             out["result_cache"] = self.result_cache.stats()
+        out["telemetry"] = self.telemetry.summary()
         return out
 
     def shutdown(self, wait: bool = True, cancel_running: bool = False) -> None:
         """Refuse new submissions and stop the driver pool. With
         ``cancel_running`` every live query is cancelled first."""
         self._closed = True
+        self.health.stop()
         if cancel_running:
             with self._tickets_lock:
                 live = list(self._tickets.values())

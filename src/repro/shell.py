@@ -19,9 +19,13 @@ commands:
     .profile <sql>             per-operator work breakdown
     .profile json <path> <sql> write the full query profile as JSON
     .metrics                   process-wide metrics snapshot
+    .metrics reset             clear the process-wide metrics registry
     .server                    query-service stats (admission, caches, queue)
     .server on [clients]       route SQL through a QueryService
     .server off                back to direct execution
+    .health [n]                service health time series (last n samples)
+    .slowlog [n]               slow-query log (last n records)
+    .fingerprints [n]          per-plan-fingerprint workload stats + drift
     .timing on|off             toggle per-query timing output
     .quit                      exit
 
@@ -138,9 +142,15 @@ class Shell:
         elif command == ".profile":
             self._profile(argument)
         elif command == ".metrics":
-            self._metrics()
+            self._metrics(argument)
         elif command == ".server":
             self._server(argument)
+        elif command == ".health":
+            self._health(argument)
+        elif command == ".slowlog":
+            self._slowlog(argument)
+        elif command == ".fingerprints":
+            self._fingerprints(argument)
         else:
             self.write(f"unknown command: {command} (try .help)")
         return True
@@ -328,9 +338,16 @@ class Shell:
             f"{len(result.trace.regions)} regions"
         )
 
-    def _metrics(self) -> None:
+    def _metrics(self, argument: str = "") -> None:
         from .observability import GLOBAL_METRICS
 
+        if argument.strip().lower() == "reset":
+            GLOBAL_METRICS.reset()
+            self.write("metrics reset")
+            return
+        if argument.strip():
+            self.write("usage: .metrics [reset]")
+            return
         snapshot = GLOBAL_METRICS.snapshot()
         if not snapshot:
             self.write("(no metrics recorded yet)")
@@ -342,6 +359,103 @@ class Shell:
                 )
             else:
                 self.write(f"  {name}: {value:g}")
+
+    # ------------------------------------------------------------------
+    # Service telemetry views (repro.observability.telemetry)
+    # ------------------------------------------------------------------
+    def _telemetry(self):
+        """The telemetry the shell's queries feed (the database's sink)."""
+        from .observability.telemetry import GLOBAL_TELEMETRY
+
+        return getattr(self.db, "telemetry", None) or GLOBAL_TELEMETRY
+
+    @staticmethod
+    def _parse_count(argument: str, default: int) -> int:
+        argument = argument.strip()
+        try:
+            return max(1, int(argument)) if argument else default
+        except ValueError:
+            return default
+
+    def _health(self, argument: str) -> None:
+        telemetry = self._telemetry()
+        last = self._parse_count(argument, 10)
+        if self.service is not None and self.service.health is not None:
+            # Take a fresh sample so .health is useful even between ticks.
+            self.service.health.sample_now()
+        samples = telemetry.health_snapshot(last=last)
+        if not samples:
+            self.write(
+                "(no health samples — enable the service with .server on)"
+            )
+            return
+        for sample in samples:
+            plan_rate = sample.get("plan_cache_hit_rate")
+            rate = "" if plan_rate is None else f" plan-hit={plan_rate:.2f}"
+            self.write(
+                f"  queue={sample['queue_depth']} "
+                f"running={sample['running']} "
+                f"reserved={sample['reserved_bytes']:.0f}B"
+                f"{rate} spillW={sample.get('spill_bytes_written', 0):.0f}B"
+            )
+        recorder = telemetry.recorder.stats()
+        self.write(
+            f"  flight recorder: {recorder['retained']}/{recorder['capacity']}"
+            f" events, {recorder['dropped']} dropped; "
+            f"{telemetry.queries_recorded} queries recorded"
+        )
+
+    def _slowlog(self, argument: str) -> None:
+        telemetry = self._telemetry()
+        last = self._parse_count(argument, 10)
+        records = telemetry.slowlog.snapshot(last=last)
+        stats = telemetry.slowlog.stats()
+        if not records:
+            self.write(
+                f"(slow-query log empty; threshold "
+                f"{stats['threshold_s'] * 1000:.0f} ms, "
+                f"{stats['observed']} observed)"
+            )
+            return
+        for record in records:
+            self.write(
+                f"  {record['query_id']:<8} {record['total_s'] * 1000:9.1f}ms "
+                f"(parse {record['parse_bind_s'] * 1000:.1f} / "
+                f"translate {record['translate_s'] * 1000:.1f} / "
+                f"execute {record['execute_s'] * 1000:.1f}) "
+                f"rows={record['rows']} fp={record['fingerprint']} "
+                f"{record['sql'][:50]!r}"
+            )
+
+    def _fingerprints(self, argument: str) -> None:
+        telemetry = self._telemetry()
+        top = self._parse_count(argument, 15)
+        entries = telemetry.workload.templates()[:top]
+        if not entries:
+            self.write("(no fingerprints tracked yet)")
+            return
+        for entry in entries:
+            q = entry.q_stats
+            q_text = (
+                f"q-mean={q.mean:.2f} q-max={entry.q_max:.2f}"
+                if q.count
+                else "q=?"
+            )
+            self.write(
+                f"  {entry.fingerprint} n={entry.count:<6} "
+                f"p50<={entry.latency.quantile(0.5) * 1000:.1f}ms "
+                f"p95<={entry.latency.quantile(0.95) * 1000:.1f}ms "
+                f"{q_text} {entry.example_sql[:50]!r}"
+            )
+        drifting = telemetry.workload.drifting_templates()
+        if drifting:
+            self.write(f"  drifting ({len(drifting)}):")
+            for fingerprint, entry in drifting:
+                self.write(
+                    f"    {fingerprint} x{entry.drift_ratio():.2f} "
+                    f"(baseline {entry.q_baseline.mean:.2f} -> "
+                    f"recent {entry.q_recent:.2f})"
+                )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -169,6 +169,56 @@ class TestShell:
         assert "queries.total" in text
         assert "queries.makespan_seconds" in text
 
+    def test_metrics_reset(self, shell):
+        sh, out = shell
+        sh.db.create_table("t", {"a": "int64"})
+        sh.db.insert("t", {"a": [1, 2, 3]})
+        sh.execute_line("SELECT count(*) FROM t")
+        sh.execute_line(".metrics reset")
+        assert "metrics reset" in out.getvalue()
+        out.truncate(0), out.seek(0)
+        sh.execute_line(".metrics")
+        text = out.getvalue()
+        # The registry was zeroed: either empty or every counter is 0.
+        assert "queries.total: 0" in text or "(no metrics recorded yet)" in text
+        out.truncate(0), out.seek(0)
+        sh.execute_line(".metrics bogus")
+        assert "usage: .metrics [reset]" in out.getvalue()
+
+    def test_telemetry_commands(self, shell):
+        from repro.observability.telemetry import Telemetry, TelemetryConfig
+
+        sh, out = shell
+        # Private sink with every query slow-logged, so the views populate.
+        sh.db.telemetry = Telemetry(
+            TelemetryConfig(enabled=True, slow_query_threshold_s=0.0)
+        )
+        sh.db.create_table("t", {"a": "int64"})
+        sh.db.insert("t", {"a": [1, 2, 3]})
+        sh.execute_line("SELECT sum(a) FROM t")
+        out.truncate(0), out.seek(0)
+        sh.execute_line(".slowlog")
+        text = out.getvalue()
+        assert "rows=1" in text and "fp=" in text
+        out.truncate(0), out.seek(0)
+        sh.execute_line(".fingerprints")
+        text = out.getvalue()
+        assert "n=1" in text and "p95<=" in text
+        out.truncate(0), out.seek(0)
+        sh.execute_line(".health")
+        assert "no health samples" in out.getvalue()
+
+    def test_telemetry_commands_empty_state(self, shell):
+        from repro.observability.telemetry import Telemetry, TelemetryConfig
+
+        sh, out = shell
+        sh.db.telemetry = Telemetry(TelemetryConfig(enabled=True))
+        sh.execute_line(".slowlog")
+        assert "slow-query log empty" in out.getvalue()
+        out.truncate(0), out.seek(0)
+        sh.execute_line(".fingerprints")
+        assert "no fingerprints tracked" in out.getvalue()
+
     def test_sql_error_reported(self, shell):
         sh, out = shell
         sh.execute_line("SELECT nope FROM nowhere")

@@ -1,0 +1,805 @@
+"""Tests for the always-on service telemetry layer: flight recorder,
+slow-query log, plan-fingerprinted workload profiler, Q-error drift
+detection, health sampling, and the zero-allocation disabled path."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdmissionError,
+    Database,
+    QueryCancelled,
+    QueryService,
+    ServiceConfig,
+)
+from repro.errors import PlanVerificationError, ReproError
+from repro.lolepop.base import Dag
+from repro.lolepop.verify import verify_dag
+from repro.observability.chrome import chrome_trace_events
+from repro.observability.events import EVENT_KINDS, FlightRecorder
+from repro.observability.metrics import Histogram, MetricsRegistry
+from repro.observability.telemetry import (
+    GLOBAL_TELEMETRY,
+    QueryRecord,
+    SlowQueryLog,
+    Telemetry,
+    TelemetryConfig,
+    render_report,
+)
+from repro.observability.workload import (
+    BASELINE_WINDOW,
+    WorkloadStats,
+    plan_fingerprint,
+)
+
+
+def fresh_telemetry(**overrides) -> Telemetry:
+    """A private, enabled instance with every-query slow logging unless a
+    test overrides the threshold."""
+    overrides.setdefault("enabled", True)
+    overrides.setdefault("slow_query_threshold_s", 0.0)
+    return Telemetry(TelemetryConfig(**overrides))
+
+
+def make_db(telemetry, rows=2000, seed=3, plan_cache_size=256):
+    db = Database(
+        num_threads=2, plan_cache_size=plan_cache_size, telemetry=telemetry
+    )
+    db.create_table("t", {"g": "int64", "x": "float64", "o": "int64"})
+    rng = np.random.default_rng(seed)
+    db.insert(
+        "t",
+        {
+            "g": rng.integers(0, 5, rows),
+            "x": rng.random(rows).round(4),
+            "o": rng.permutation(rows),
+        },
+    )
+    return db
+
+
+def service_for(db, **cfg):
+    return QueryService(db, ServiceConfig(**cfg), registry=MetricsRegistry())
+
+
+# ---------------------------------------------------------------------------
+# Flight recorder (unit)
+# ---------------------------------------------------------------------------
+class TestFlightRecorder:
+    def test_ring_bounds_and_dropped_counter(self):
+        recorder = FlightRecorder(capacity=8)
+        for i in range(20):
+            recorder.record("query.finish", i=i)
+        assert len(recorder) == 8
+        assert recorder.recorded == 20
+        assert recorder.dropped == 12
+        events = recorder.snapshot()
+        # Oldest-first, the 12 oldest rotated out.
+        assert [e["i"] for e in events] == list(range(12, 20))
+        assert [e["seq"] for e in events] == sorted(e["seq"] for e in events)
+
+    def test_snapshot_filters_by_kind_and_last(self):
+        recorder = FlightRecorder(capacity=64)
+        for i in range(6):
+            recorder.record("query.finish" if i % 2 else "cache.hit", i=i)
+        finishes = recorder.snapshot(kind="query.finish")
+        assert [e["i"] for e in finishes] == [1, 3, 5]
+        assert [e["i"] for e in recorder.snapshot(last=2)] == [4, 5]
+
+    def test_stats_and_reset(self):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record("spill", bytes_written=10)
+        recorder.record("spill", bytes_written=20)
+        recorder.record("query.error", error="boom")
+        stats = recorder.stats()
+        assert stats["by_kind"] == {"query.error": 1, "spill": 2}
+        assert stats["recorded"] == 3 and stats["dropped"] == 0
+        recorder.reset()
+        assert recorder.recorded == 0 and len(recorder) == 0
+        assert recorder.stats()["by_kind"] == {}
+
+    def test_dump_json(self, tmp_path):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record("query.finish", query_id="q1", rows=3)
+        path = str(tmp_path / "flight.json")
+        assert recorder.dump_json(path) == 1
+        doc = json.load(open(path))
+        assert doc["stats"]["recorded"] == 1
+        assert doc["events"][0]["kind"] == "query.finish"
+        assert doc["events"][0]["query_id"] == "q1"
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_thread_safety_no_lost_events(self):
+        recorder = FlightRecorder(capacity=10_000)
+
+        def hammer():
+            for _ in range(500):
+                recorder.record("cache.hit")
+
+        workers = [threading.Thread(target=hammer) for _ in range(4)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert recorder.recorded == 2000
+        assert recorder.stats()["by_kind"]["cache.hit"] == 2000
+
+
+# ---------------------------------------------------------------------------
+# Slow-query log (unit)
+# ---------------------------------------------------------------------------
+def _record(query_id="q1", total_s=0.0, **kw):
+    kw.setdefault("sql", "select 1")
+    kw.setdefault("fingerprint", "f" * 16)
+    return QueryRecord(query_id, kw.pop("sql"), kw.pop("fingerprint"),
+                       total_s=total_s, **kw)
+
+
+class TestSlowQueryLog:
+    def test_threshold(self):
+        log = SlowQueryLog(capacity=8, threshold_s=0.5)
+        assert log.observe(_record(total_s=0.1)) is False
+        assert log.observe(_record(total_s=0.9)) is True
+        assert log.observed == 1 and len(log) == 1
+        assert log.snapshot()[0]["total_s"] == 0.9
+
+    def test_capacity_rotation_keeps_observed_count(self):
+        log = SlowQueryLog(capacity=2, threshold_s=0.0)
+        for i in range(5):
+            log.observe(_record(query_id=f"q{i}", total_s=float(i)))
+        assert log.observed == 5 and len(log) == 2
+        assert [r["query_id"] for r in log.snapshot()] == ["q3", "q4"]
+
+    def test_reset(self):
+        log = SlowQueryLog(capacity=2, threshold_s=0.0)
+        log.observe(_record())
+        log.reset()
+        assert log.observed == 0 and log.snapshot() == []
+
+
+# ---------------------------------------------------------------------------
+# Workload profiler + drift (unit)
+# ---------------------------------------------------------------------------
+class TestWorkloadStats:
+    def test_capacity_bound_evicts_least_recently_updated(self):
+        stats = WorkloadStats(capacity=2)
+        stats.observe("a", "sql a", "lolepop", 0.1)
+        stats.observe("b", "sql b", "lolepop", 0.1)
+        stats.observe("a", "sql a", "lolepop", 0.1)  # refresh a
+        stats.observe("c", "sql c", "lolepop", 0.1)  # evicts b, not a
+        assert len(stats) == 2 and stats.evicted == 1
+        assert stats.get("a") is not None and stats.get("c") is not None
+        assert stats.get("b") is None
+
+    def test_drift_detection_fires_after_baseline(self):
+        stats = WorkloadStats()
+        for _ in range(BASELINE_WINDOW):
+            stats.observe("fp", "sql", "lolepop", 0.01, q_error=1.0)
+        assert stats.drifting_templates() == []
+        # The cardinality model goes stale: recent Q-errors degrade.
+        for _ in range(10):
+            stats.observe("fp", "sql", "lolepop", 0.01, q_error=8.0)
+        drifting = stats.drifting_templates(threshold=2.0)
+        assert [fp for fp, _ in drifting] == ["fp"]
+        entry = drifting[0][1]
+        assert entry.drift_ratio() > 2.0
+        assert entry.q_baseline.mean == pytest.approx(1.0)
+        assert entry.q_max == 8.0
+
+    def test_stable_template_never_drifts(self):
+        stats = WorkloadStats()
+        for _ in range(BASELINE_WINDOW + 20):
+            stats.observe("fp", "sql", "lolepop", 0.01, q_error=3.0)
+        assert stats.drifting_templates(threshold=2.0) == []
+
+    def test_min_count_guards_young_templates(self):
+        stats = WorkloadStats()
+        for _ in range(3):
+            stats.observe("fp", "sql", "lolepop", 0.01, q_error=50.0)
+        assert stats.drifting_templates(threshold=1.1) == []
+
+    def test_snapshot_shape(self):
+        stats = WorkloadStats(capacity=4)
+        stats.observe("fp", "sql", "lolepop", 0.01, q_error=2.0,
+                      plan_cache_hit=True, rows=7)
+        doc = stats.snapshot()
+        assert doc["tracked"] == 1 and doc["capacity"] == 4
+        entry = doc["templates"][0]
+        assert entry["count"] == 1 and entry["plan_cache_hits"] == 1
+        assert entry["rows_out"] == 7
+        assert "quantiles" in entry["latency"]
+
+
+class TestPlanFingerprint:
+    def test_literals_collide_shapes_differ(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry)
+        db.sql("SELECT g, sum(x) FROM t WHERE o < 100 GROUP BY g")
+        db.sql("SELECT g, sum(x) FROM t WHERE o < 999 GROUP BY g")
+        db.sql("SELECT g, median(x) FROM t GROUP BY g")
+        entries = telemetry.workload.templates()
+        assert len(entries) == 2
+        # The literal-only pair aggregated under one template.
+        assert sorted(e.count for e in entries) == [1, 2]
+
+    def test_fallback_on_sql_text(self):
+        a = plan_fingerprint([], "select 1")
+        b = plan_fingerprint([], "select 2")
+        assert a != b
+        assert a == plan_fingerprint([], "select 1")
+        # Engine scoping: the same text on another engine is another key.
+        assert a != plan_fingerprint([], "select 1", engine="naive")
+
+    def test_stable_across_executions(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry)
+        db.sql("SELECT count(*) FROM t")
+        db.sql("SELECT count(*) FROM t")
+        entries = telemetry.workload.templates()
+        assert len(entries) == 1 and entries[0].count == 2
+
+
+# ---------------------------------------------------------------------------
+# Database-level audit records
+# ---------------------------------------------------------------------------
+class TestDatabaseRecords:
+    def test_sql_emits_one_record_with_breakdown(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry)
+        db.sql("SELECT g, sum(x) FROM t GROUP BY g")
+        assert telemetry.queries_recorded == 1
+        record = telemetry.slowlog.snapshot()[-1]
+        assert record["status"] == "ok"
+        assert record["engine"] == "lolepop"
+        assert record["rows"] == 5
+        assert record["plan_cache_hit"] is False
+        assert record["parse_bind_s"] > 0
+        assert record["execute_s"] > 0
+        assert record["total_s"] >= record["parse_bind_s"]
+        assert record["query_id"].startswith("d")
+        finishes = telemetry.recorder.snapshot(kind="query.finish")
+        assert len(finishes) == 1
+        assert finishes[0]["fingerprint"] == record["fingerprint"]
+
+    def test_plan_cache_hit_flag(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry)
+        db.sql("SELECT count(*) FROM t")
+        db.sql("SELECT count(*) FROM t")
+        first, second = telemetry.slowlog.snapshot()
+        assert first["plan_cache_hit"] is False
+        assert second["plan_cache_hit"] is True
+
+    def test_max_q_error_always_on(self):
+        # No profile collected, yet the record carries a root-level
+        # Q-error from the cached per-plan estimate.
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry)
+        db.sql("SELECT g, sum(x) FROM t GROUP BY g")
+        record = telemetry.slowlog.snapshot()[-1]
+        assert record["max_q_error"] is not None
+        assert record["max_q_error"] >= 1.0
+        entry = telemetry.workload.templates()[0]
+        assert entry.q_stats.count == 1
+
+    def test_explain_not_recorded(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry)
+        db.sql("EXPLAIN SELECT count(*) FROM t")
+        db.sql("EXPLAIN LOLEPOP SELECT count(*) FROM t")
+        assert telemetry.queries_recorded == 0
+
+    def test_parse_error_recorded(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry)
+        with pytest.raises(ReproError):
+            db.sql("SELECT FROM nothing WHERE")
+        assert telemetry.queries_recorded == 1
+        record = telemetry.slowlog.snapshot()[-1]
+        assert record["status"] == "error"
+        assert record["error"]
+        assert telemetry.recorder.snapshot(kind="query.error")
+
+    def test_plan_cache_evict_event(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry, plan_cache_size=2)
+        db.sql("SELECT count(*) FROM t")
+        db.sql("SELECT sum(x) FROM t")
+        db.sql("SELECT g, count(*) FROM t GROUP BY g")
+        evictions = telemetry.recorder.snapshot(kind="cache.evict")
+        assert evictions and evictions[0]["cache"] == "plan"
+
+    def test_sql_truncation(self):
+        telemetry = fresh_telemetry(max_sql_chars=30)
+        db = make_db(telemetry)
+        db.sql(
+            "SELECT g, sum(x), min(x), max(x), count(*) FROM t GROUP BY g"
+        )
+        record = telemetry.slowlog.snapshot()[-1]
+        assert len(record["sql"]) == 30 and record["sql"].endswith("...")
+
+
+# ---------------------------------------------------------------------------
+# Service-level events, attribution, health
+# ---------------------------------------------------------------------------
+class TestServiceTelemetry:
+    def test_query_and_session_attribution(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry)
+        with service_for(db, health_interval_s=0) as service:
+            session = service.session()
+            session.execute("SELECT g, sum(x) FROM t GROUP BY g", timeout=60)
+        record = telemetry.slowlog.snapshot()[-1]
+        assert record["session_id"] not in ("-", None)
+        starts = telemetry.recorder.snapshot(kind="query.start")
+        assert len(starts) == 1
+        assert starts[0]["query_id"] == record["query_id"]
+        assert starts[0]["session_id"] == record["session_id"]
+        assert record["queue_wait_s"] >= 0.0
+
+    def test_result_cache_hit_recorded(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry)
+        with service_for(db, health_interval_s=0) as service:
+            session = service.session()
+            sql = "SELECT g, sum(x) FROM t GROUP BY g"
+            session.execute(sql, timeout=60)
+            session.execute(sql, timeout=60)
+        assert telemetry.queries_recorded == 2
+        first, second = telemetry.slowlog.snapshot()
+        assert first["result_cache_hit"] is False
+        assert second["result_cache_hit"] is True
+        # Both executions aggregate under one fingerprint.
+        assert first["fingerprint"] == second["fingerprint"]
+        hits = telemetry.recorder.snapshot(kind="cache.hit")
+        assert any(e["cache"] == "result" for e in hits)
+
+    def test_admission_reject_event(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry)
+        with service_for(
+            db, health_interval_s=0, memory_budget_bytes=1
+        ) as service:
+            with pytest.raises(AdmissionError):
+                service.submit("SELECT g, median(x) FROM t GROUP BY g")
+        rejects = telemetry.recorder.snapshot(kind="admission.reject")
+        assert len(rejects) == 1 and rejects[0]["reason"]
+
+    def test_cancel_recorded(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry, rows=3000)
+        slow_sql = (
+            "SELECT g, x, sum(x) OVER (PARTITION BY g ORDER BY o) AS c, "
+            "median(x) OVER (PARTITION BY g) AS m FROM t"
+        )
+        with service_for(db, health_interval_s=0) as service:
+            ticket = service.submit(slow_sql, timeout=1e-6)
+            with pytest.raises(QueryCancelled):
+                ticket.result(timeout=30)
+        record = telemetry.slowlog.snapshot()[-1]
+        assert record["status"] == "cancelled"
+        assert telemetry.recorder.snapshot(kind="query.cancel")
+
+    def test_cancel_while_queued_recorded(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry, rows=30000)
+        slow_sql = (
+            "SELECT g, x, sum(x) OVER (PARTITION BY g ORDER BY o) AS c, "
+            "median(x) OVER (PARTITION BY g) AS m FROM t"
+        )
+        with service_for(
+            db, max_concurrent=1, health_interval_s=0
+        ) as service:
+            running = service.submit(slow_sql, use_result_cache=False)
+            queued = service.submit(
+                "SELECT count(*) FROM t", use_result_cache=False
+            )
+            assert service.cancel(queued.query_id) is True
+            with pytest.raises(QueryCancelled):
+                queued.result(timeout=30)
+            running.result(timeout=120)
+        cancelled = [
+            r
+            for r in telemetry.slowlog.snapshot()
+            if r["status"] == "cancelled"
+        ]
+        assert len(cancelled) == 1
+        assert cancelled[0]["query_id"] == queued.query_id
+        assert telemetry.recorder.snapshot(kind="query.cancel")
+
+    def test_health_sampler_sample_now(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry)
+        with service_for(db, health_interval_s=0) as service:
+            session = service.session()
+            session.execute("SELECT count(*) FROM t", timeout=60)
+            sample = service.health.sample_now()
+        assert sample["queue_depth"] == 0
+        assert sample["running"] == 0
+        assert "plan_cache_hit_rate" in sample
+        assert "spill_bytes_written" in sample
+        assert telemetry.health_snapshot()[-1]["wall"] == sample["wall"]
+
+    def test_health_series_is_bounded(self):
+        telemetry = fresh_telemetry(health_capacity=3)
+        for i in range(10):
+            telemetry.record_health({"queue_depth": i})
+        samples = telemetry.health_snapshot()
+        assert [s["queue_depth"] for s in samples] == [7, 8, 9]
+
+    def test_stats_embed_telemetry_summary(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry)
+        with service_for(db, health_interval_s=0) as service:
+            session = service.session()
+            session.execute("SELECT count(*) FROM t", timeout=60)
+            summary = service.stats()["telemetry"]
+        assert summary["queries_recorded"] == 1
+        assert summary["events_dropped"] == 0
+        assert summary["fingerprints"] == 1
+
+
+class TestVerifierEvent:
+    def test_verification_failure_leaves_breadcrumb(self):
+        previous = GLOBAL_TELEMETRY.enabled
+        GLOBAL_TELEMETRY.enabled = True
+        seq_before = GLOBAL_TELEMETRY.recorder.recorded
+        try:
+            with pytest.raises(PlanVerificationError):
+                verify_dag(Dag(), context="test-dag")
+        finally:
+            GLOBAL_TELEMETRY.enabled = previous
+        events = [
+            e
+            for e in GLOBAL_TELEMETRY.recorder.snapshot(
+                kind="verifier.diagnostic"
+            )
+            if e["seq"] > seq_before
+        ]
+        assert events
+        assert events[-1]["context"] == "test-dag"
+        assert events[-1]["codes"] == ["no-sink"]
+
+
+# ---------------------------------------------------------------------------
+# Disabled path: one branch, zero allocations
+# ---------------------------------------------------------------------------
+class TestDisabledPath:
+    def test_disabled_records_nothing(self):
+        telemetry = Telemetry(TelemetryConfig(enabled=False))
+        db = make_db(telemetry)
+        db.sql("SELECT g, sum(x) FROM t GROUP BY g")
+        db.sql("SELECT count(*) FROM t")
+        assert telemetry.queries_recorded == 0
+        assert telemetry.recorder.recorded == 0
+        assert len(telemetry.workload) == 0
+        assert telemetry.slowlog.observed == 0
+
+    def test_disabled_allocates_no_query_records(self, monkeypatch):
+        # Count-based (not timing-based): the disabled path must not even
+        # construct a QueryRecord.
+        constructions = []
+
+        class CountingRecord(QueryRecord):
+            def __init__(self, *args, **kwargs):
+                constructions.append(1)
+                super().__init__(*args, **kwargs)
+
+        import repro.api as api_module
+
+        monkeypatch.setattr(api_module, "QueryRecord", CountingRecord)
+        telemetry = Telemetry(TelemetryConfig(enabled=False))
+        db = make_db(telemetry)
+        db.sql("SELECT count(*) FROM t")
+        assert constructions == []
+        telemetry.enable()
+        db.sql("SELECT count(*) FROM t")
+        assert len(constructions) == 1
+
+    def test_disabled_context_manager(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry)
+        with telemetry.disabled():
+            db.sql("SELECT count(*) FROM t")
+        assert telemetry.queries_recorded == 0
+        db.sql("SELECT count(*) FROM t")
+        assert telemetry.queries_recorded == 1
+
+    def test_disabled_service_takes_no_events(self):
+        telemetry = Telemetry(TelemetryConfig(enabled=False))
+        db = make_db(telemetry)
+        with service_for(db, health_interval_s=0) as service:
+            session = service.session()
+            session.execute("SELECT count(*) FROM t", timeout=60)
+            assert service.health.running is False
+        assert telemetry.recorder.recorded == 0
+
+
+# ---------------------------------------------------------------------------
+# Environment overrides and error dumps
+# ---------------------------------------------------------------------------
+class TestConfig:
+    def test_env_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "off")
+        assert TelemetryConfig().enabled is False
+        monkeypatch.setenv("REPRO_TELEMETRY", "on")
+        assert TelemetryConfig().enabled is True
+
+    def test_env_slow_threshold(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY_SLOW_MS", "250")
+        assert TelemetryConfig().slow_query_threshold_s == 0.25
+
+    def test_env_dump_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TELEMETRY_DUMP_DIR", str(tmp_path))
+        assert TelemetryConfig().dump_on_error_dir == str(tmp_path)
+
+    def test_explicit_args_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "off")
+        assert TelemetryConfig(enabled=True).enabled is True
+
+    def test_error_dump_written_and_rate_limited(self, tmp_path):
+        telemetry = fresh_telemetry(dump_on_error_dir=str(tmp_path))
+        db = make_db(telemetry)
+        for _ in range(3):
+            with pytest.raises(ReproError):
+                db.sql("SELECT definitely broken syntax !!!")
+        dumps = [n for n in os.listdir(tmp_path) if n.startswith("flight_")]
+        assert len(dumps) == 1  # rate limit: one dump per interval
+        doc = json.load(open(tmp_path / dumps[0]))
+        assert any(e["kind"] == "query.error" for e in doc["events"])
+
+
+# ---------------------------------------------------------------------------
+# Report, renderer, dump file, CLI tool
+# ---------------------------------------------------------------------------
+def _load_report_tool():
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "tools",
+        "telemetry_report.py",
+    )
+    spec = importlib.util.spec_from_file_location("telemetry_report", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestReport:
+    def _loaded_telemetry(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry)
+        with service_for(db, health_interval_s=0) as service:
+            session = service.session()
+            for sql in (
+                "SELECT g, sum(x) FROM t GROUP BY g",
+                "SELECT g, median(x) FROM t GROUP BY g",
+                "SELECT count(*) FROM t",
+            ):
+                session.execute(sql, timeout=60)
+            service.health.sample_now()
+        return telemetry
+
+    def test_report_document_shape(self):
+        telemetry = self._loaded_telemetry()
+        report = telemetry.report()
+        assert report["schema"] == 1
+        assert report["queries_recorded"] == 3
+        assert report["flight_recorder"]["dropped"] == 0
+        assert report["workload"]["tracked"] == 3
+        assert report["slow_queries"]["observed"] == 3
+        assert len(report["health"]["samples"]) == 1
+        json.dumps(report)  # fully serializable
+
+    def test_render_report_text(self):
+        telemetry = self._loaded_telemetry()
+        text = render_report(telemetry.report())
+        assert "service telemetry — 3 queries recorded" in text
+        assert "flight recorder:" in text
+        assert "fingerprints tracked" in text
+        assert "p95<=" in text
+        assert "drifting templates: none" in text
+        assert "health samples: 1" in text
+
+    def test_dump_and_cli_assertions(self, tmp_path):
+        telemetry = self._loaded_telemetry()
+        path = str(tmp_path / "telemetry.json")
+        telemetry.dump(path)
+        tool = _load_report_tool()
+        assert tool.main([path]) == 0
+        assert (
+            tool.main(
+                [path, "--assert-min-fingerprints", "1",
+                 "--assert-zero-dropped"]
+            )
+            == 0
+        )
+        assert tool.main([path, "--assert-min-fingerprints", "999"]) == 1
+        assert tool.main([path, "--json"]) == 0
+
+    def test_cli_rejects_garbage(self, tmp_path):
+        tool = _load_report_tool()
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert tool.main([str(bad)]) == 2
+        assert tool.main([str(tmp_path / "missing.json")]) == 2
+
+    def test_reset_clears_every_sink(self):
+        telemetry = self._loaded_telemetry()
+        telemetry.reset()
+        assert telemetry.queries_recorded == 0
+        assert telemetry.recorder.recorded == 0
+        assert len(telemetry.workload) == 0
+        assert telemetry.health_snapshot() == []
+
+
+# ---------------------------------------------------------------------------
+# Satellites: histogram quantiles, chrome-trace attribution
+# ---------------------------------------------------------------------------
+class TestHistogramQuantiles:
+    def test_to_dict_quantiles_block(self):
+        histogram = Histogram((0.001, 0.01, 0.1, 1.0))
+        for value in (0.002, 0.003, 0.004, 0.005, 0.5):
+            histogram.observe(value)
+        doc = histogram.to_dict()
+        quantiles = doc["quantiles"]
+        assert set(quantiles) == {"p50", "p95", "p99"}
+        # Bucket-upper-bound semantics: each is a bound at or above the
+        # exact percentile, and they are monotone.
+        assert quantiles["p50"] == 0.01
+        assert quantiles["p95"] == quantiles["p99"] == 1.0
+        assert quantiles["p50"] <= quantiles["p95"] <= quantiles["p99"]
+        exact = float(np.percentile([0.002, 0.003, 0.004, 0.005, 0.5], 95))
+        assert quantiles["p95"] >= exact
+
+
+class TestChromeTraceAttribution:
+    def test_span_args_carry_query_and_session(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry)
+        config = db.config.clone(
+            collect_trace=True, query_id="q42", session_id="s7"
+        )
+        result = db.sql("SELECT g, sum(x) FROM t GROUP BY g", config=config)
+        assert result.trace.query_id == "q42"
+        assert result.trace.session_id == "s7"
+        events = chrome_trace_events(result.trace)
+        spans = [e for e in events if e.get("ph") == "X"]
+        assert spans
+        for event in spans:
+            assert event["args"]["query_id"] == "q42"
+            assert event["args"]["session"] == "s7"
+
+    def test_unattributed_trace_has_no_id_args(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry)
+        result = db.sql(
+            "SELECT count(*) FROM t",
+            config=db.config.clone(collect_trace=True),
+        )
+        events = chrome_trace_events(result.trace)
+        spans = [e for e in events if e.get("ph") == "X"]
+        assert spans
+        assert all("query_id" not in e["args"] for e in spans)
+
+
+# ---------------------------------------------------------------------------
+# Concurrent load: the acceptance-shaped end-to-end run (kept small)
+# ---------------------------------------------------------------------------
+class TestConcurrentLoad:
+    def test_eight_clients_full_report(self):
+        telemetry = fresh_telemetry(ring_capacity=16_384)
+        db = make_db(telemetry, rows=1500)
+        mix = [
+            "SELECT count(*) FROM t",
+            "SELECT g, sum(x) FROM t GROUP BY g",
+            "SELECT g, median(x) FROM t GROUP BY g",
+        ]
+        errors = []
+        with service_for(db, max_concurrent=4, health_interval_s=0) as service:
+
+            def client(index):
+                session = service.session()
+                rng = np.random.default_rng(100 + index)
+                for _ in range(4):
+                    sql = mix[int(rng.integers(len(mix)))]
+                    try:
+                        session.execute(sql, timeout=120)
+                    except Exception as exc:  # noqa: BLE001 — asserted below
+                        errors.append(exc)
+
+            workers = [
+                threading.Thread(target=client, args=(i,)) for i in range(8)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(120)
+            service.health.sample_now()
+
+        assert errors == []
+        assert telemetry.queries_recorded == 32
+        assert telemetry.recorder.dropped == 0
+        report = telemetry.report()
+        assert 1 <= report["workload"]["tracked"] <= len(mix)
+        assert sum(
+            e["count"] for e in report["workload"]["templates"]
+        ) == 32
+        assert report["health"]["samples"]
+        text = render_report(report)
+        assert "32 queries recorded" in text
+
+    def test_event_kinds_stay_in_vocabulary(self):
+        telemetry = fresh_telemetry()
+        db = make_db(telemetry)
+        with service_for(db, health_interval_s=0) as service:
+            session = service.session()
+            session.execute("SELECT count(*) FROM t", timeout=60)
+            session.execute("SELECT count(*) FROM t", timeout=60)
+        kinds = {e["kind"] for e in telemetry.recorder.snapshot()}
+        assert kinds <= set(EVENT_KINDS)
+
+
+class TestSnapshotTelemetryBlock:
+    def test_validator_accepts_and_rejects(self):
+        from repro.bench.snapshot import validate_snapshot
+
+        doc = {
+            "schema_version": 1,
+            "pr": 7,
+            "created_utc": "2026-01-01T00:00:00Z",
+            "host": {
+                "cpu_count": 1,
+                "platform": "Linux",
+                "machine": "x86_64",
+                "python": "3.12",
+            },
+            "config": {"scale_factor": 0.01, "threads": 1, "repeats": 1},
+            "families": {
+                "f": {
+                    "description": "d",
+                    "engine_profile": {},
+                    "queries": {
+                        "q": {
+                            "wall_s": 0.1,
+                            "parallel_wall_s": 0.1,
+                            "parallel_speedup": 1.0,
+                            "rows": 1,
+                            "verified": True,
+                        }
+                    },
+                }
+            },
+            "server": {
+                "throughput_qps": 1.0,
+                "completed": 1,
+                "incorrect": 0,
+                "latency_ms": {"p50": 1, "p95": 1, "p99": 1, "mean": 1},
+                "plan_cache_hit_rate": 0.5,
+                "telemetry": {
+                    "queries_recorded": 1,
+                    "events_recorded": 2,
+                    "events_dropped": 0,
+                    "fingerprints": 1,
+                    "slow_queries": 0,
+                },
+            },
+            "correctness": {"queries_verified": 1, "mismatches": []},
+        }
+        assert validate_snapshot(doc) == []
+        # The block is optional (pre-PR-7 snapshots lack it) ...
+        del doc["server"]["telemetry"]
+        assert validate_snapshot(doc) == []
+        # ... but a malformed one is an error.
+        doc["server"]["telemetry"] = {"queries_recorded": -1}
+        errors = validate_snapshot(doc)
+        assert any("telemetry" in e for e in errors)
