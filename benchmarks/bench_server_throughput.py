@@ -19,6 +19,16 @@ Usage::
 
     --no-plan-cache / --no-result-cache   ablate the caches
     --threads N                           per-query thread count (simulated)
+    --reuse off|on|ab                     materialization manager: off
+                                          (default), on (reuse-friendly
+                                          workload, manager enabled), or ab
+                                          (the same sweep against two
+                                          identically-populated databases —
+                                          manager off vs on — reporting
+                                          throughput/latency deltas and the
+                                          manager hit rate; the result cache
+                                          is disabled for the sweep so the
+                                          deltas isolate the reuse layer)
     --telemetry-dir DIR                   capture service telemetry (private
                                           instance, big ring, tight slow
                                           threshold) and dump flight
@@ -55,6 +65,37 @@ def build_workload():
         TPCH_QUERIES["q6"],
     ]
     return mix
+
+
+#: Reuse-friendly mix: similar-but-not-identical ordered scans that share
+#: one property-keyed buffer, and an aggregate lattice (fine GROUP BY, two
+#: coarser projections, a ROLLUP) served from one materialized view. Every
+#: query is *byte-identical* with the manager on or off — the client
+#: threads compare rows exactly — because the ordered scans carry a
+#: total-order sort key (l_orderkey, l_linenumber breaks all ties) and the
+#: lattice uses only exact-valued aggregates (counts, min/max, sums of
+#: integer-valued columns) with a deterministic ORDER BY over group keys.
+def build_reuse_workload():
+    ordered = [
+        "SELECT l_orderkey, l_linenumber, l_extendedprice FROM lineitem "
+        f"ORDER BY l_extendedprice, l_orderkey, l_linenumber LIMIT {n}"
+        for n in (50, 100, 200, 400)
+    ]
+    lattice = [
+        "SELECT l_returnflag, l_linestatus, count(*) AS c, "
+        "sum(l_quantity) AS q, min(l_extendedprice) AS lo, "
+        "max(l_extendedprice) AS hi FROM lineitem "
+        "GROUP BY l_returnflag, l_linestatus "
+        "ORDER BY l_returnflag, l_linestatus",
+        "SELECT l_returnflag, count(*) AS c, sum(l_quantity) AS q "
+        "FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag",
+        "SELECT l_linestatus, max(l_extendedprice) AS hi FROM lineitem "
+        "GROUP BY l_linestatus ORDER BY l_linestatus",
+        "SELECT l_returnflag, l_linestatus, count(*) AS c FROM lineitem "
+        "GROUP BY ROLLUP (l_returnflag, l_linestatus) "
+        "ORDER BY l_returnflag, l_linestatus",
+    ]
+    return ordered + lattice
 
 
 def percentile(values, q):
@@ -101,8 +142,9 @@ class Client(threading.Thread):
                 self.incorrect += 1
 
 
-def run_load(db, args, clients):
-    workload = build_workload()
+def run_load(db, args, clients, workload=None, result_cache_size=None):
+    if workload is None:
+        workload = build_workload()
     # Direct-execution reference answers (before the service runs), computed
     # with the exact engine config the client sessions use — simulated-mode
     # execution is deterministic at a fixed config, so every service result
@@ -115,12 +157,14 @@ def run_load(db, args, clients):
         sql: db.sql(sql, config=ref_config).rows() for sql in workload
     }
 
+    if result_cache_size is None:
+        result_cache_size = 0 if args.no_result_cache else 64
     service = QueryService(
         db,
         ServiceConfig(
             max_concurrent=args.max_concurrent,
             max_queue=max(64, clients * 8),
-            result_cache_size=0 if args.no_result_cache else 64,
+            result_cache_size=result_cache_size,
         ),
     )
     deadline = time.monotonic() + args.duration
@@ -164,6 +208,9 @@ def run_load(db, args, clients):
         "plan_cache": stats.get("plan_cache"),
         "result_cache": stats.get("result_cache"),
     }
+    reuse = getattr(db, "reuse", None)
+    if reuse is not None:
+        row["reuse"] = reuse.stats()
     return row
 
 
@@ -207,6 +254,14 @@ def main(argv=None):
     parser.add_argument("--report", default=None, help="write JSON here")
     parser.add_argument("--no-plan-cache", action="store_true")
     parser.add_argument("--no-result-cache", action="store_true")
+    parser.add_argument(
+        "--reuse",
+        choices=["off", "on", "ab"],
+        default="off",
+        help="materialization manager mode: on swaps in the reuse-friendly "
+        "workload; ab additionally runs the same sweep on a manager-off "
+        "twin database and reports the deltas",
+    )
     parser.add_argument("--skip-repeat-bench", action="store_true")
     parser.add_argument(
         "--telemetry-dir",
@@ -242,33 +297,101 @@ def main(argv=None):
             )
         )
 
+    reuse_config = None
+    if args.reuse != "off":
+        from repro.reuse import ReuseConfig
+
+        # Views build on first demand so a short sweep still warms them.
+        reuse_config = ReuseConfig(view_min_uses=1)
+
+    plan_cache_size = 0 if args.no_plan_cache else 256
     db = Database(
-        plan_cache_size=0 if args.no_plan_cache else 256,
+        plan_cache_size=plan_cache_size,
         telemetry=telemetry,
+        reuse=reuse_config if args.reuse in ("on", "ab") else None,
     )
     print(f"loading TPC-H SF {args.sf} ...", flush=True)
     populate_database(db, scale_factor=args.sf, seed=42)
+    db_off = None
+    if args.reuse == "ab":
+        print("loading manager-off twin database ...", flush=True)
+        db_off = Database(plan_cache_size=plan_cache_size)
+        populate_database(db_off, scale_factor=args.sf, seed=42)
 
-    runs = []
-    failed = deadlocked = False
-    for clients in args.clients:
-        print(f"running {clients} client(s) for {args.duration}s ...", flush=True)
-        row = run_load(db, args, clients)
-        runs.append(row)
+    # In reuse mode the sweep runs the reuse-friendly workload with the
+    # result cache off, so every completed query goes through translation
+    # and the manager (or, on the twin, the full pipeline).
+    workload = build_reuse_workload() if args.reuse != "off" else None
+    sweep_cache = 0 if args.reuse != "off" else None
+
+    def show(row, indent="  "):
         lat = row["latency_ms"]
         print(
-            f"  clients={clients:<3} qps={row['throughput_qps']:<8} "
+            f"{indent}clients={row['clients']:<3} "
+            f"qps={row['throughput_qps']:<8} "
             f"p50={lat['p50']}ms p95={lat['p95']}ms p99={lat['p99']}ms "
             f"completed={row['completed']} incorrect={row['incorrect']} "
             f"errors={row['error_count']}"
         )
+
+    def pct(off, on):
+        return round((on - off) / off * 100.0, 1) if off else 0.0
+
+    runs = []
+    ab_runs = []
+    failed = deadlocked = False
+    for clients in args.clients:
+        print(f"running {clients} client(s) for {args.duration}s ...", flush=True)
+        row = run_load(
+            db, args, clients, workload=workload, result_cache_size=sweep_cache
+        )
+        runs.append(row)
+        show(row)
         if row["incorrect"] or row["error_count"]:
             failed = True
         if row["deadlocked_clients"]:
             deadlocked = True
             print(f"  DEADLOCK: {row['deadlocked_clients']}")
+        if db_off is not None:
+            row_off = run_load(
+                db_off, args, clients, workload=workload, result_cache_size=0
+            )
+            show(row_off, indent="  [off] ")
+            lat_on, lat_off = row["latency_ms"], row_off["latency_ms"]
+            delta = {
+                "throughput_qps_pct": pct(
+                    row_off["throughput_qps"], row["throughput_qps"]
+                ),
+                "p50_ms_pct": pct(lat_off["p50"], lat_on["p50"]),
+                "p95_ms_pct": pct(lat_off["p95"], lat_on["p95"]),
+                "p99_ms_pct": pct(lat_off["p99"], lat_on["p99"]),
+            }
+            ab_runs.append(
+                {"clients": clients, "on": row, "off": row_off, "delta": delta}
+            )
+            print(
+                f"  [a/b] qps {delta['throughput_qps_pct']:+}% "
+                f"p50 {delta['p50_ms_pct']:+}% p95 {delta['p95_ms_pct']:+}% "
+                f"p99 {delta['p99_ms_pct']:+}%"
+            )
+            if row_off["incorrect"] or row_off["error_count"]:
+                failed = True
+            if row_off["deadlocked_clients"]:
+                deadlocked = True
+                print(f"  DEADLOCK (off twin): {row_off['deadlocked_clients']}")
 
     report = {"config": vars(args), "runs": runs}
+    if args.reuse != "off":
+        stats = db.reuse.stats()
+        report["reuse"] = {"workload": workload, "stats": stats}
+        if ab_runs:
+            report["reuse"]["ab_runs"] = ab_runs
+        print(
+            f"reuse manager: hit rate {stats['hit_rate']} "
+            f"({stats['hits']} hits / {stats['misses']} misses), "
+            f"{stats['views']} views + {stats['buffers']} buffers, "
+            f"{stats['resident_bytes']} resident bytes"
+        )
     if not args.skip_repeat_bench:
         print("repeated-statement benchmark (plan cache on vs off) ...")
         report["repeated_statement"] = repeated_statement_benchmark(args)

@@ -54,14 +54,16 @@ class Database:
         execution_mode: str = "simulated",
         plan_cache_size: int = 256,
         telemetry=None,
+        reuse=None,
     ):
         self.catalog = Catalog()
         self.config = config or EngineConfig(
             num_threads=num_threads, execution_mode=execution_mode
         )
         #: LRU of prepared (parsed + bound + translated-template) plans,
-        #: keyed on normalized SQL + catalog version; ``plan_cache_size=0``
-        #: disables caching entirely (every call re-parses).
+        #: keyed on normalized SQL with per-table version validation;
+        #: ``plan_cache_size=0`` disables caching entirely (every call
+        #: re-parses).
         from .server.cache import PlanCache
 
         self.plan_cache = (
@@ -79,6 +81,20 @@ class Database:
         self._estimator_cache = None
         if self.plan_cache is not None:
             self.plan_cache.on_evict = self._on_plan_evict
+        #: Cross-query materialization manager (``src/repro/reuse``). Off by
+        #: default; pass ``reuse=True`` for defaults or a
+        #: :class:`~repro.reuse.ReuseConfig` to tune. When present it is
+        #: injected into every LOLEPOP execution config so the translator
+        #: can consult it.
+        self.reuse = None
+        if reuse:
+            from .reuse import MaterializationManager, ReuseConfig
+
+            reuse_config = reuse if isinstance(reuse, ReuseConfig) else ReuseConfig()
+            self.reuse = MaterializationManager(
+                self.catalog, reuse_config, telemetry=self.telemetry
+            )
+            self.telemetry.attach_reuse(self.reuse.stats)
 
     # ------------------------------------------------------------------
     # Catalog management
@@ -174,7 +190,31 @@ class Database:
             plan,
             self.catalog.version,
             cacheable=isinstance(stmt, SelectStmt),
+            table_deps=self._plan_table_deps(plan),
+            ddl_version=self.catalog.ddl_version,
         )
+
+    def _plan_table_deps(self, plan):
+        """``((table, version), ...)`` for every base table the bound plan
+        scans, or ``None`` when a dependency cannot be resolved (→ coarse
+        catalog-version validation)."""
+        from .logical import Scan
+
+        names: list = []
+        stack = [plan]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Scan):
+                name = node.table_name.lower()
+                if name not in names:
+                    names.append(name)
+            stack.extend(getattr(node, "children", ()))
+        try:
+            return tuple(
+                (name, self.catalog.get(name).version) for name in sorted(names)
+            )
+        except Exception:  # noqa: BLE001 — unknown table → coarse fallback
+            return None
 
     def sql(
         self,
@@ -243,6 +283,12 @@ class Database:
                 f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}"
             )
         run_config = config or self.config
+        if (
+            engine == "lolepop"
+            and self.reuse is not None
+            and getattr(run_config, "reuse", None) is None
+        ):
+            run_config = run_config.clone(reuse=self.reuse)
         runner = _ENGINES[engine](self.catalog, run_config)
         telemetry = self.telemetry
         if telemetry is None or not telemetry.enabled:
@@ -411,8 +457,8 @@ class Database:
         self.telemetry.event(
             "cache.evict",
             cache="plan",
-            sql=self.telemetry.truncate_sql(key[0]),
-            catalog_version=key[1],
+            sql=self.telemetry.truncate_sql(key),
+            catalog_version=getattr(entry, "catalog_version", None),
         )
 
     def _explain_statement(self, stmt, query: str, config=None) -> QueryResult:

@@ -71,9 +71,12 @@ class Corpus:
     engine_profile: Mapping[str, Any] = field(default_factory=dict)
 
     def build_database(
-        self, scale_factor: Optional[float] = None, seed: Optional[int] = None
+        self,
+        scale_factor: Optional[float] = None,
+        seed: Optional[int] = None,
+        reuse=None,
     ) -> Database:
-        db = Database()
+        db = Database(reuse=reuse)
         self.populate(
             db,
             scale_factor if scale_factor is not None else self.default_scale,

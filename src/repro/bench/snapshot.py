@@ -49,6 +49,12 @@ SCHEMA_VERSION = 1
 #:              telemetry?: {queries_recorded, events_recorded,
 #:                           events_dropped, fingerprints,
 #:                           slow_queries: int >= 0}}  (optional block)
+#:     reuse?: {queries: {<qname>: {cold_wall_s, warm_wall_s: float >= 0,
+#:                                  warm_speedup: float > 0,
+#:                                  verified: bool}},  (non-empty)
+#:              manager: {hits, misses, views, buffers,
+#:                        resident_bytes: int >= 0,
+#:                        hit_rate: float in [0, 1]}}  (optional block)
 #:     correctness: {queries_verified: int >= 0, mismatches: [str]}
 SNAPSHOT_SPEC = "see module docstring"
 
@@ -200,6 +206,51 @@ def validate_snapshot(doc: Any) -> List[str]:
                     if value is not None and value < 0:
                         errors.append(f"$.server.telemetry.{key}: must be >= 0")
 
+    # Optional cold-vs-warm materialization-manager block (absent in
+    # pre-PR-8 snapshots; the gate compares warm walls when both snapshots
+    # carry it).
+    if "reuse" in doc:
+        reuse = _expect(errors, doc, "reuse", (dict,), "$")
+        if reuse is not None:
+            rqueries = _expect(errors, reuse, "queries", (dict,), "$.reuse")
+            if rqueries is not None:
+                if not rqueries:
+                    errors.append("$.reuse.queries: must not be empty")
+                for qname, entry in rqueries.items():
+                    qpath = f"$.reuse.queries.{qname}"
+                    if not isinstance(entry, dict):
+                        errors.append(f"{qpath}: expected object")
+                        continue
+                    for key in ("cold_wall_s", "warm_wall_s"):
+                        value = _expect(errors, entry, key, (float, int), qpath)
+                        if value is not None and value < 0:
+                            errors.append(f"{qpath}.{key}: must be >= 0")
+                    speedup = _expect(
+                        errors, entry, "warm_speedup", (float, int), qpath
+                    )
+                    if speedup is not None and speedup <= 0:
+                        errors.append(f"{qpath}.warm_speedup: must be > 0")
+                    _expect(errors, entry, "verified", (bool,), qpath)
+            manager = _expect(errors, reuse, "manager", (dict,), "$.reuse")
+            if manager is not None:
+                for key in (
+                    "hits",
+                    "misses",
+                    "views",
+                    "buffers",
+                    "resident_bytes",
+                ):
+                    value = _expect(
+                        errors, manager, key, (int,), "$.reuse.manager"
+                    )
+                    if value is not None and value < 0:
+                        errors.append(f"$.reuse.manager.{key}: must be >= 0")
+                rate = _expect(
+                    errors, manager, "hit_rate", (float, int), "$.reuse.manager"
+                )
+                if rate is not None and not 0.0 <= rate <= 1.0:
+                    errors.append("$.reuse.manager.hit_rate: must be in [0, 1]")
+
     correctness = _expect(errors, doc, "correctness", (dict,), "$")
     if correctness is not None:
         verified = _expect(
@@ -328,6 +379,117 @@ def _measure_server(
     }
 
 
+#: Reuse-friendly measurement workload: two similar ordered scans sharing
+#: one property-keyed buffer, and an aggregate lattice (fine GROUP BY, a
+#: coarser projection, a ROLLUP) served from one materialized view. Exact-
+#: valued aggregates only, so view re-aggregation is bit-identical to a
+#: fresh scan.
+_REUSE_QUERIES = {
+    "ordered_scan": (
+        "SELECT l_orderkey, l_linenumber, l_extendedprice FROM lineitem "
+        "ORDER BY l_extendedprice, l_orderkey, l_linenumber LIMIT 100"
+    ),
+    "ordered_scan_deeper": (
+        "SELECT l_orderkey, l_linenumber, l_extendedprice FROM lineitem "
+        "ORDER BY l_extendedprice, l_orderkey, l_linenumber LIMIT 400"
+    ),
+    "group_fine": (
+        "SELECT l_returnflag, l_linestatus, count(*) AS c, "
+        "sum(l_quantity) AS q, min(l_extendedprice) AS lo FROM lineitem "
+        "GROUP BY l_returnflag, l_linestatus"
+    ),
+    "group_coarse": (
+        "SELECT l_returnflag, count(*) AS c, sum(l_quantity) AS q "
+        "FROM lineitem GROUP BY l_returnflag"
+    ),
+    "group_rollup": (
+        "SELECT l_returnflag, l_linestatus, count(*) AS c FROM lineitem "
+        "GROUP BY ROLLUP (l_returnflag, l_linestatus)"
+    ),
+}
+
+
+def _measure_reuse(
+    scale_factor: float,
+    threads: int,
+    repeats: int,
+    progress: Callable[[str], None],
+) -> Tuple[Dict[str, Any], List[str], int]:
+    """Cold-vs-warm walls for the reuse workload: the cold database runs
+    the full pipeline every time, the warm one holds a populated
+    materialization manager. Both run with the plan cache off so every
+    timed run re-translates — the warm number measures the manager
+    substituting cached buffers / view state at translate time, which is
+    exactly the cross-query path a service sees on distinct-but-similar
+    statements. Every run is verified against the naive oracle. Returns
+    ``(block, mismatches, queries_verified)``.
+    """
+    from ..api import Database
+    from ..observability.telemetry import GLOBAL_TELEMETRY
+    from ..reuse import ReuseConfig
+    from ..tpch import populate_database
+    from .corpora import canonical_rows
+
+    cold_db = Database(plan_cache_size=0)
+    warm_db = Database(plan_cache_size=0, reuse=ReuseConfig(view_min_uses=1))
+    for db in (cold_db, warm_db):
+        populate_database(db, scale_factor=scale_factor, seed=42)
+
+    entries: Dict[str, Any] = {}
+    mismatches: List[str] = []
+    queries_verified = 0
+    for name, sql in _REUSE_QUERIES.items():
+        reference = canonical_rows(cold_db.sql(sql, engine="naive"))
+        verified = True
+        walls = {}
+        for label, db, seed_runs in (("cold", cold_db, 0), ("warm", warm_db, 1)):
+            with GLOBAL_TELEMETRY.disabled():
+                for _ in range(seed_runs):  # build the manager's state
+                    db.sql(sql)
+                best = float("inf")
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    result = db.sql(sql)
+                    best = min(best, time.perf_counter() - start)
+            walls[label] = best
+            if canonical_rows(result) != reference:
+                verified = False
+                mismatches.append(
+                    f"reuse/{name}: {label} run diverges from the naive "
+                    f"reference"
+                )
+        entry = {
+            "cold_wall_s": round(walls["cold"], 6),
+            "warm_wall_s": round(walls["warm"], 6),
+            "warm_speedup": round(
+                walls["cold"] / max(walls["warm"], 1e-9), 4
+            ),
+            "verified": verified,
+        }
+        queries_verified += int(verified)
+        entries[name] = entry
+        progress(
+            f"  reuse/{name}: cold {walls['cold'] * 1000:.1f}ms "
+            f"warm {walls['warm'] * 1000:.1f}ms "
+            f"({entry['warm_speedup']}x) "
+            f"{'ok' if verified else 'MISMATCH'}"
+        )
+
+    stats = warm_db.reuse.stats()
+    block = {
+        "queries": entries,
+        "manager": {
+            "hits": int(stats["hits"]),
+            "misses": int(stats["misses"]),
+            "hit_rate": round(float(stats["hit_rate"]), 4),
+            "views": int(stats["views"]),
+            "buffers": int(stats["buffers"]),
+            "resident_bytes": int(stats["resident_bytes"]),
+        },
+    }
+    return block, mismatches, queries_verified
+
+
 def build_snapshot(
     pr: int,
     scale_factor: float = 0.01,
@@ -427,6 +589,13 @@ def build_snapshot(
             f"server: {server['incorrect']} incorrect result(s) under load"
         )
 
+    progress("reuse: cold vs warm materialization-manager walls ...")
+    reuse_block, reuse_mismatches, reuse_verified = _measure_reuse(
+        scale_factor, threads, repeats, progress
+    )
+    mismatches.extend(reuse_mismatches)
+    queries_verified += reuse_verified
+
     doc = {
         "schema_version": SCHEMA_VERSION,
         "pr": pr,
@@ -442,6 +611,7 @@ def build_snapshot(
         },
         "families": doc_families,
         "server": server,
+        "reuse": reuse_block,
         "correctness": {
             "queries_verified": queries_verified,
             "mismatches": mismatches,
@@ -672,4 +842,49 @@ def compare_snapshots(
         report.warnings.append(
             f"plan-cache hit rate dropped {base_rate:.2f} → {cur_rate:.2f}"
         )
+
+    # --- reuse (optional block) ---------------------------------------
+    cur_reuse = current.get("reuse")
+    if cur_reuse is not None:
+        for qname, entry in cur_reuse["queries"].items():
+            report.checked += 1
+            if not entry["verified"]:
+                report.fail(
+                    f"correctness: reuse/{qname} is not verified against "
+                    f"the naive reference"
+                )
+            # A warm manager losing to a cold pipeline (beyond the noise
+            # floor) means the reuse layer stopped serving — advisory,
+            # because sub-millisecond timings on loaded runners jitter.
+            if (
+                entry["warm_wall_s"]
+                > entry["cold_wall_s"] * (1.0 + noise)
+                and entry["warm_wall_s"] - entry["cold_wall_s"] > min_wall_s
+            ):
+                report.warnings.append(
+                    f"reuse/{qname}: warm run slower than cold "
+                    f"({entry['cold_wall_s'] * 1000:.1f}ms → "
+                    f"{entry['warm_wall_s'] * 1000:.1f}ms)"
+                )
+        report.checked += 1
+        if cur_reuse["manager"]["hits"] < 1:
+            report.fail(
+                "reuse: the warm manager recorded no hits — the "
+                "measurement exercised nothing"
+            )
+        base_reuse = baseline.get("reuse")
+        if base_reuse is not None:
+            for qname, base_entry in base_reuse["queries"].items():
+                cur_entry = cur_reuse["queries"].get(qname)
+                if cur_entry is None:
+                    report.fail(
+                        f"coverage: reuse query {qname!r} vanished from "
+                        f"the snapshot"
+                    )
+                    continue
+                check_wall(
+                    f"reuse/{qname} warm",
+                    base_entry["warm_wall_s"],
+                    cur_entry["warm_wall_s"],
+                )
     return report

@@ -58,6 +58,8 @@ class EngineConfig:
         session_id: Optional[str] = None,
         # --- static plan verifier ------------------------------------------
         verify_plans: Optional[str] = None,
+        # --- cross-query materialization manager ---------------------------
+        reuse=None,
     ):
         if execution_mode not in EXECUTION_MODES:
             raise ValueError(
@@ -116,6 +118,13 @@ class EngineConfig:
         #: :meth:`translation_fingerprint`: it changes what is checked, not
         #: the DAG that is built.
         self.verify_plans = verify_plans
+        #: Optional :class:`~repro.reuse.MaterializationManager`: the
+        #: translator consults it to substitute cached-buffer SOURCEs and
+        #: serve aggregate views; operators offer materialized buffers back.
+        #: Part of :meth:`translation_fingerprint` as a boolean — a DAG
+        #: template with reuse substitutions must never serve a reuse-off
+        #: config (and vice versa).
+        self.reuse = reuse
 
     def translation_fingerprint(self) -> tuple:
         """Hashable summary of every knob that influences logical-plan →
@@ -132,6 +141,7 @@ class EngineConfig:
             self.two_phase_hashagg,
             self.permutation_vectors,
             self.cost_based_distinct,
+            self.reuse is not None,
         )
 
     def clone(self, **overrides) -> "EngineConfig":

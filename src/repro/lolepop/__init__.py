@@ -33,6 +33,7 @@ from .combine_op import CombineOp
 from .hashagg_op import HashAggOp
 from .ordagg_op import OrdAggOp
 from .window_op import WindowOp
+from .reuse_op import CachedBufferOp, ViewSourceOp
 from .engine import LolepopEngine
 from .translate import translate_statistics
 from .properties import (
@@ -58,6 +59,8 @@ __all__ = [
     "MergeOp",
     "ScanOp",
     "CombineOp",
+    "CachedBufferOp",
+    "ViewSourceOp",
     "HashAggOp",
     "OrdAggOp",
     "WindowOp",

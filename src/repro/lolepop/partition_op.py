@@ -38,6 +38,10 @@ class PartitionOp(Lolepop):
         self.keys = tuple(keys)
         self.num_partitions = num_partitions
         self.compact = compact
+        #: :class:`~repro.reuse.CaptureSpec` attached by the translator when
+        #: the cross-query materialization manager wants this site's output
+        #: offered to the buffer cache after execution.
+        self.reuse_capture = None
 
     def describe(self) -> str:
         keys = ",".join(self.keys) if self.keys else "round-robin"
@@ -97,4 +101,8 @@ class PartitionOp(Lolepop):
             self.stats.extra["scatter_keys"] = (
                 ",".join(self.keys) or "round-robin"
             )
+        if self.reuse_capture is not None and not buffer.spilling:
+            manager = getattr(ctx.config, "reuse", None)
+            if manager is not None:
+                manager.offer_buffer(self.reuse_capture, buffer)
         return buffer

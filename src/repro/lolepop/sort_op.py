@@ -131,6 +131,11 @@ class SortOp(Lolepop):
             return buffer
         key_names = [name for name, _ in self.keys]
         descending = [desc for _, desc in self.keys]
+        # Offer the post-sort buffer to the materialization manager only
+        # when this is the buffer's *first* reordering: a re-sort of an
+        # already-sorted buffer is stable on the previous order, so its
+        # bytes differ from a fresh PARTITION → SORT of the same fragment.
+        first_sort = not buffer.ordered_by
         mode = self._resolve_mode(buffer, ctx)
         # How many leading keys the buffer is already ordered by (a prior
         # in-place SORT of the same buffer): a re-sort then only needs a
@@ -158,4 +163,21 @@ class SortOp(Lolepop):
             "sort", tasks, PartitionSortTask.run, splittable=True
         )
         buffer.set_ordering(required)
+        if first_sort and not buffer.spilling:
+            spec = self._capture_spec()
+            if spec is not None:
+                manager = getattr(ctx.config, "reuse", None)
+                if manager is not None:
+                    manager.offer_buffer(spec, buffer)
         return buffer
+
+    def _capture_spec(self):
+        """The cache spec of the buffer being sorted, when its producer is
+        a capture site — either a PARTITION carrying ``reuse_capture`` or a
+        cached-buffer SOURCE (whose re-sort upgrades the cache with an
+        ordered entry)."""
+        producer = self.inputs[0] if self.inputs else None
+        spec = getattr(producer, "reuse_capture", None)
+        if spec is not None:
+            return spec
+        return getattr(producer, "spec", None)

@@ -129,6 +129,57 @@ class _Translator:
     def _select_items(schema: Schema) -> List[Tuple[str, Expr]]:
         return [(f.name, ColumnRef(f.name)) for f in schema]
 
+    # ------------------------------------------------------------------
+    def _partition_with_reuse(
+        self,
+        upstream_fn: Callable[[], Lolepop],
+        keys: Sequence[str],
+        num_partitions: int,
+        source_plan: Optional[LogicalPlan],
+        compact: bool = True,
+        required_order=None,
+    ) -> Lolepop:
+        """A PARTITION over ``upstream_fn()`` — or, when the materialization
+        manager holds a fresh byte-identical entry for this site, a
+        :class:`~repro.lolepop.reuse_op.CachedBufferOp` substitute.
+
+        ``upstream_fn`` is lazy so a substitution never leaves an orphan
+        SOURCE in the DAG (``verify_dag`` flags unreachable nodes). On the
+        no-entry path the spec is attached to the PARTITION as
+        ``reuse_capture`` so the operator (and a downstream SORT) can offer
+        the materialized buffer back after executing."""
+        manager = getattr(self.config, "reuse", None)
+        spec = None
+        if manager is not None and source_plan is not None:
+            spec = manager.capture_spec(
+                source_plan, keys, num_partitions, self.config, compact=compact
+            )
+        if spec is not None:
+            ordering = manager.lookup_buffer(spec, required_order=required_order)
+            if ordering is not None:
+                from .reuse_op import CachedBufferOp
+
+                self.dag.rewrites.append(
+                    f"reuse: cached buffer source [{spec.describe()}]"
+                )
+                return self.dag.add(
+                    CachedBufferOp(
+                        spec,
+                        ordering,
+                        source_plan,
+                        lambda: self.source(source_plan),
+                        keys,
+                        num_partitions,
+                        compact=compact,
+                    )
+                )
+        partition = self.dag.add(
+            PartitionOp(upstream_fn(), tuple(keys), num_partitions, compact=compact)
+        )
+        if spec is not None:
+            partition.reuse_capture = spec
+        return partition
+
     # ==================================================================
     # ORDER BY / LIMIT regions
     # ==================================================================
@@ -144,9 +195,12 @@ class _Translator:
         if reuse is not None:
             return reuse
 
-        source = self._source_op(plan.child)
-        partition = self.dag.add(
-            PartitionOp(source, (), self.config.num_partitions, compact=True)
+        partition = self._partition_with_reuse(
+            lambda: self._source_op(plan.child),
+            (),
+            self.config.num_partitions,
+            plan.child,
+            required_order=keys,
         )
         sort = self.dag.add(SortOp(partition, keys))
         merge = self.dag.add(MergeOp(sort, keys, limit_hint=limit_hint))
@@ -282,6 +336,9 @@ class _Translator:
     def _translate_aggregate(
         self, plan: Aggregate, limit: Optional[int], offset: int
     ) -> Lolepop:
+        view_sink = self._try_view_substitution(plan, limit, offset)
+        if view_sink is not None:
+            return view_sink
         group_names = plan.group_names
         input_ctx = self._aggregate_input(plan)
 
@@ -316,6 +373,35 @@ class _Translator:
             )
         )
 
+    def _try_view_substitution(
+        self, plan: Aggregate, limit: Optional[int], offset: int
+    ) -> Optional[Lolepop]:
+        """Serve the whole aggregation region from an incrementally
+        maintained view when the manager holds (or decides to build) a
+        covering one. LIMIT/OFFSET regions are declined: with them the
+        emitted row *set* depends on the producing operator's row order,
+        which a view substitution does not preserve."""
+        manager = getattr(self.config, "reuse", None)
+        if manager is None or limit is not None or offset:
+            return None
+        if not manager.view_source(plan):
+            return None
+        from .reuse_op import ViewSourceOp
+
+        source = self.dag.add(ViewSourceOp(plan))
+        self.dag.rewrites.append(
+            "reuse: aggregate served from materialized view"
+        )
+        return self.dag.add(
+            ScanOp(
+                source,
+                project=self._select_items(plan.schema),
+                project_schema=plan.schema,
+                limit=limit,
+                offset=offset,
+            )
+        )
+
     def _aggregate_input(self, plan: Aggregate) -> "_AggInput":
         """Locate an optional Window stage below the aggregation (nested
         aggregates): the binder emits Aggregate → Project → Window there.
@@ -337,7 +423,7 @@ class _Translator:
                 ref.name for ref in window_node.calls[0].partition_by
             )
             return _AggInput(self, buffer_op, partition_keys)
-        return _AggInput(self, None, None, self._source_op(plan.child))
+        return _AggInput(self, None, None, source_plan=plan.child)
 
     # ------------------------------------------------------------------
     # Step B: units for one group-key set
@@ -628,11 +714,9 @@ class _Translator:
             )
             if reuse:
                 if shared_buffer is None:
-                    shared_buffer = self.dag.add(
-                        PartitionOp(
-                            input_ctx.stream(), (primary,),
-                            self.config.num_partitions,
-                        )
+                    shared_buffer = self._partition_with_reuse(
+                        input_ctx.stream, (primary,),
+                        self.config.num_partitions, input_ctx.source_plan,
                     )
                     previous = None
                 else:
@@ -645,11 +729,10 @@ class _Translator:
                 )
             else:
                 part_keys = tuple(gs[:1])
-                buffer_op = self.dag.add(
-                    PartitionOp(
-                        input_ctx.stream(), part_keys,
-                        self.config.num_partitions if part_keys else 1,
-                    )
+                buffer_op = self._partition_with_reuse(
+                    input_ctx.stream, part_keys,
+                    self.config.num_partitions if part_keys else 1,
+                    input_ctx.source_plan,
                 )
                 chain_units, _ = self._ordered_chain(
                     buffer_op, keys, orderings, plain, [], []
@@ -715,19 +798,25 @@ class _Translator:
 
 class _AggInput:
     """Where an aggregation unit draws its input: a window region's
-    materialized buffer, or the relational source stream."""
+    materialized buffer, or the relational source stream.
+
+    The source SOURCE node is created lazily: when the cross-query
+    materialization manager substitutes a cached buffer for the whole
+    SOURCE → PARTITION subtree, an eagerly created SOURCE would sit in
+    the DAG unreachable (a verifier diagnostic)."""
 
     def __init__(
         self,
         translator: _Translator,
         buffer_op: Optional[Lolepop],
         buffer_partition_keys: Optional[Tuple[str, ...]],
-        source_op: Optional[Lolepop] = None,
+        source_plan: Optional[LogicalPlan] = None,
     ):
         self._translator = translator
         self.buffer_op = buffer_op
         self.buffer_partition_keys = buffer_partition_keys
-        self.source_op = source_op
+        self.source_plan = source_plan
+        self._source: Optional[Lolepop] = None
         self._scan: Optional[Lolepop] = None
 
     def buffer_usable_for(self, group_names: List[str]) -> bool:
@@ -742,11 +831,13 @@ class _AggInput:
         )
 
     def stream(self) -> Lolepop:
-        if self.source_op is not None:
-            return self.source_op
-        if self._scan is None:
-            self._scan = self._translator.dag.add(ScanOp(self.buffer_op))
-        return self._scan
+        if self.buffer_op is not None:
+            if self._scan is None:
+                self._scan = self._translator.dag.add(ScanOp(self.buffer_op))
+            return self._scan
+        if self._source is None:
+            self._source = self._translator._source_op(self.source_plan)
+        return self._source
 
     def materialize(self, group_names: List[str]) -> Lolepop:
         """A buffer usable for grouping by ``group_names``."""
@@ -757,6 +848,6 @@ class _AggInput:
             return self.buffer_op
         keys = tuple(group_names)
         num = self._translator.config.num_partitions if keys else 1
-        return self._translator.dag.add(
-            PartitionOp(self.stream(), keys, num)
+        return self._translator._partition_with_reuse(
+            self.stream, keys, num, self.source_plan
         )

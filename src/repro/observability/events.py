@@ -41,6 +41,10 @@ EVENT_KINDS = (
     "spill",
     "verifier.diagnostic",
     "health.sample",
+    "reuse.hit",
+    "reuse.miss",
+    "reuse.evict",
+    "reuse.maintain",
 )
 
 

@@ -308,6 +308,25 @@ class Telemetry:
         self._last_error_dump = 0.0
         #: Total query records observed (all of them, not just slow ones).
         self.queries_recorded = 0
+        #: Zero-arg callable returning the materialization manager's stats
+        #: dict, installed via :meth:`attach_reuse`; ``None`` = no manager.
+        self._reuse_stats = None
+
+    # ------------------------------------------------------------------
+    def attach_reuse(self, provider) -> None:
+        """Install the materialization manager's stats provider so
+        :meth:`summary` / :meth:`report` carry a ``reuse`` block."""
+        self._reuse_stats = provider
+
+    def reuse_snapshot(self) -> Optional[dict]:
+        """The manager's current stats, or ``None`` when no manager is
+        attached (or its provider failed)."""
+        if self._reuse_stats is None:
+            return None
+        try:
+            return dict(self._reuse_stats())
+        except Exception:  # noqa: BLE001 — diagnostics never raise
+            return None
 
     # ------------------------------------------------------------------
     # Enablement
@@ -453,12 +472,13 @@ class Telemetry:
                 "capacity": self.config.health_capacity,
                 "samples": health,
             },
+            "reuse": self.reuse_snapshot(),
         }
 
     def summary(self) -> dict:
         """Compact roll-up (embedded in benchmark snapshots)."""
         recorder = self.recorder.stats()
-        return {
+        summary = {
             "queries_recorded": self.queries_recorded,
             "events_recorded": recorder["recorded"],
             "events_dropped": recorder["dropped"],
@@ -467,6 +487,10 @@ class Telemetry:
             "slow_queries": self.slowlog.stats()["observed"],
             "health_samples": len(self.health_snapshot()),
         }
+        reuse = self.reuse_snapshot()
+        if reuse is not None:
+            summary["reuse"] = reuse
+        return summary
 
     def dump(self, path: str) -> dict:
         """Write ``{"report": ..., "events": [...]}`` to ``path`` (the full
@@ -563,6 +587,18 @@ def render_report(doc: dict, width: int = 100) -> str:
             )
     else:
         lines.append("drifting templates: none")
+
+    reuse = doc.get("reuse")
+    if reuse is not None:
+        lines.append(
+            f"reuse: hit-rate={reuse.get('hit_rate', 0.0):.2f} "
+            f"({reuse.get('hits', 0)} hits / {reuse.get('misses', 0)} misses), "
+            f"{reuse.get('resident_bytes', 0)}B resident in "
+            f"{reuse.get('buffers', 0)} buffers + {reuse.get('views', 0)} views, "
+            f"{reuse.get('evictions', 0)} evicted, "
+            f"maintenance {_fmt_ms(reuse.get('maintenance_s', 0.0))} "
+            f"over {reuse.get('maintenance_events', 0)} delta(s)"
+        )
 
     health = doc["health"]["samples"]
     lines.append(f"health samples: {len(health)}")

@@ -1,0 +1,22 @@
+"""Cross-query structural reuse.
+
+A :class:`MaterializationManager` caches property-keyed materialized
+buffers and incrementally-maintained aggregate views across queries (see
+:mod:`repro.reuse.manager` for the full design). Attach one to a
+:class:`~repro.api.Database` with ``Database(reuse=True)`` or
+``Database(reuse=ReuseConfig(...))``; the translator and the PARTITION/
+SORT operators then cooperate through
+:attr:`~repro.execution.context.EngineConfig.reuse`.
+"""
+
+from .manager import CaptureSpec, MaterializationManager, ReuseConfig
+from .views import VIEW_FUNCS, analyze_view, serve_plan
+
+__all__ = [
+    "CaptureSpec",
+    "MaterializationManager",
+    "ReuseConfig",
+    "VIEW_FUNCS",
+    "analyze_view",
+    "serve_plan",
+]

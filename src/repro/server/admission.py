@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from ..errors import AdmissionError
 from ..logical.plan import LogicalPlan, Scan
@@ -69,6 +69,7 @@ class AdmissionController:
         max_concurrent: int,
         max_queue: int,
         memory_budget_bytes: Optional[float] = None,
+        extra_reserved: Optional[Callable[[], float]] = None,
     ):
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be positive")
@@ -77,6 +78,11 @@ class AdmissionController:
         self.max_concurrent = max_concurrent
         self.max_queue = max_queue
         self.memory_budget_bytes = memory_budget_bytes
+        #: Optional callable returning bytes held by other budget consumers
+        #: (the materialization manager's resident cache); folded into the
+        #: fit check so cached intermediates and running queries share one
+        #: service budget.
+        self.extra_reserved = extra_reserved
         self._lock = threading.Lock()
         self._queue: deque = deque()
         self.running = 0
@@ -87,12 +93,21 @@ class AdmissionController:
     def queue_depth(self) -> int:
         return len(self._queue)
 
+    def _extra(self) -> float:
+        if self.extra_reserved is None:
+            return 0.0
+        try:
+            return float(self.extra_reserved())
+        except Exception:  # noqa: BLE001 — a broken gauge must not block
+            return 0.0
+
     def _fits(self, est_bytes: float) -> bool:
         if self.running >= self.max_concurrent:
             return False
         if self.memory_budget_bytes is None:
             return True
-        return self.reserved_bytes + est_bytes <= self.memory_budget_bytes
+        reserved = self.reserved_bytes + self._extra()
+        return reserved + est_bytes <= self.memory_budget_bytes
 
     # ------------------------------------------------------------------
     def admit(self, ticket) -> bool:

@@ -1,10 +1,14 @@
 """Plan and result caches for the query service.
 
-Both caches key on *normalized SQL text* plus the catalog version
-(:attr:`repro.storage.table.Catalog.version`), which every DDL statement and
-every table mutation advances — so a schema or data change implicitly
-invalidates all previously cached plans and results, and stale entries
-simply age out of the LRU.
+Both caches key on *normalized SQL text* plus a version token describing
+the catalog state the entry was built against. Entries that know which
+tables they read carry **per-table version counters** plus the catalog's
+DDL version (:attr:`repro.storage.table.Catalog.ddl_version`), so DML on
+one table no longer invalidates plans and results that only touch other
+tables. Entries that cannot enumerate their dependencies (EXPLAIN text,
+plans bound against foreign catalogs) fall back to the coarse catalog-wide
+:attr:`repro.storage.table.Catalog.version` counter, which every DDL
+statement and every table mutation advances.
 
 The plan cache holds :class:`PreparedPlan` entries: the parsed AST, the
 bound logical plan, and (filled in lazily by the LOLEPOP engine) translated
@@ -85,6 +89,8 @@ class PreparedPlan:
         "statement",
         "plan",
         "catalog_version",
+        "ddl_version",
+        "table_deps",
         "cacheable",
         "dag_templates",
         "executions",
@@ -98,12 +104,19 @@ class PreparedPlan:
         plan,
         catalog_version: int,
         cacheable: bool = True,
+        table_deps: Optional[Tuple[Tuple[str, int], ...]] = None,
+        ddl_version: Optional[int] = None,
     ):
         self.sql = sql
         self.normalized = normalize_sql(sql)
         self.statement = statement
         self.plan = plan
         self.catalog_version = catalog_version
+        #: Per-table dependency versions ``((table, version), ...)`` at build
+        #: time, paired with the catalog's DDL version. ``None`` = unknown
+        #: dependencies → fall back to coarse catalog-version validation.
+        self.table_deps = table_deps
+        self.ddl_version = ddl_version
         self.cacheable = cacheable
         self.dag_templates: Dict[Tuple, object] = {}
         self.executions = 0
@@ -111,6 +124,42 @@ class PreparedPlan:
         #: ``None`` = not computed yet, ``< 0`` = estimation failed (don't
         #: retry every execution). Valid for this entry's catalog version.
         self.est_rows: Optional[float] = None
+
+    def is_current(self, catalog) -> bool:
+        """Is this entry still valid against ``catalog``?
+
+        With known dependencies: the catalog's DDL version and every
+        depended-on table's version must match the values recorded at build
+        time. Without them: coarse catalog-version equality.
+        """
+        if self.table_deps is None or self.ddl_version is None:
+            return self.catalog_version == getattr(catalog, "version", None)
+        if getattr(catalog, "ddl_version", None) != self.ddl_version:
+            return False
+        for table_name, version in self.table_deps:
+            try:
+                table = catalog.get(table_name)
+            except Exception:
+                return False
+            if table.version != version:
+                return False
+        return True
+
+    def dep_token(self, catalog) -> Tuple:
+        """Hashable summary of the *current* versions of this statement's
+        table dependencies — the version component of result-cache keys.
+        Reading live versions (not the build-time snapshot) means a result
+        cached before DML on a depended-on table can never be served after
+        it, while DML on unrelated tables leaves the key unchanged."""
+        if self.table_deps is None or self.ddl_version is None:
+            return ("catalog", getattr(catalog, "version", None))
+        token: list = [getattr(catalog, "ddl_version", None)]
+        for table_name, _ in self.table_deps:
+            try:
+                token.append((table_name, catalog.get(table_name).version))
+            except Exception:
+                token.append((table_name, None))
+        return tuple(token)
 
     def store_template(self, key: Tuple, dag, config) -> None:
         """Insert a pristine clone of ``dag`` as the template for ``key``.
@@ -177,6 +226,12 @@ class _LruCache:
                 except Exception:  # noqa: BLE001 — observers never break puts
                     pass
 
+    def discard(self, key) -> None:
+        """Drop one entry if present (stale-entry invalidation; does not
+        count as a capacity eviction and does not fire ``on_evict``)."""
+        with self._lock:
+            self._entries.pop(key, None)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -201,8 +256,13 @@ class _LruCache:
 
 
 class PlanCache(_LruCache):
-    """LRU of :class:`PreparedPlan` keyed on (normalized SQL, catalog
-    version)."""
+    """LRU of :class:`PreparedPlan` keyed on normalized SQL text.
+
+    Version validation happens at lookup time via
+    :meth:`PreparedPlan.is_current`: entries carrying per-table dependency
+    versions survive DML on unrelated tables; dependency-less entries fall
+    back to coarse catalog-version equality. A stale hit is discarded and
+    counts as a miss."""
 
     def lookup(
         self,
@@ -214,10 +274,16 @@ class PlanCache(_LruCache):
         the lock (parse + bind may be slow) and the built entry is inserted
         if cacheable. Races between identical misses are benign — the last
         insert wins and both callers hold a valid entry."""
-        key = (normalize_sql(sql), catalog.version)
+        key = normalize_sql(sql)
         entry = self.get(key)
         if entry is not None:
-            return entry, True
+            if entry.is_current(catalog):
+                return entry, True
+            # Stale entry: reclassify the raw LRU hit as a miss.
+            with self._lock:
+                self.hits -= 1
+                self.misses += 1
+            self.discard(key)
         entry = build()
         if entry.cacheable:
             self.put(key, entry)
@@ -227,9 +293,12 @@ class PlanCache(_LruCache):
 class ResultCache(_LruCache):
     """LRU of finished query results for read-only statements.
 
-    Keyed on (normalized SQL, catalog version, engine); results whose row
-    count exceeds ``max_rows`` are not stored (they would evict many small,
-    frequently repeated results for one scan-the-world query).
+    Keyed on (normalized SQL, version token, engine) where the version
+    token is either a per-table dependency token
+    (:meth:`PreparedPlan.dep_token`) or the coarse catalog version;
+    results whose row count exceeds ``max_rows`` are not stored (they would
+    evict many small, frequently repeated results for one scan-the-world
+    query).
     """
 
     def __init__(self, capacity: int, max_rows: int = 100_000):
@@ -237,8 +306,8 @@ class ResultCache(_LruCache):
         self.max_rows = max_rows
 
     @staticmethod
-    def key(sql: str, catalog_version: int, engine: str) -> Tuple:
-        return (normalize_sql(sql), catalog_version, engine)
+    def key(sql: str, version_token, engine: str) -> Tuple:
+        return (normalize_sql(sql), version_token, engine)
 
     def admit(self, key: Tuple, result) -> bool:
         """Store ``result`` unless it is over the row bound; returns whether

@@ -178,10 +178,17 @@ class QueryService:
             self.telemetry = (
                 getattr(database, "telemetry", None) or GLOBAL_TELEMETRY
             )
+        # The materialization manager's resident bytes count against the
+        # same service budget as running queries: cached intermediates are
+        # memory the service is holding, not free headroom.
+        reuse = getattr(database, "reuse", None)
         self.admission = AdmissionController(
             self.config.max_concurrent,
             self.config.max_queue,
             self.config.memory_budget_bytes,
+            extra_reserved=(
+                (lambda: reuse.resident_bytes) if reuse is not None else None
+            ),
         )
         self.result_cache = (
             ResultCache(
@@ -287,7 +294,12 @@ class QueryService:
             and not base_config.collect_metrics
         )
         if cacheable:
-            key = self.result_cache.key(sql, self.db.catalog.version, engine)
+            # Version component = the statement's own table dependencies
+            # (per-table versions + DDL version), so DML on unrelated
+            # tables leaves this entry servable.
+            key = self.result_cache.key(
+                sql, prepared.dep_token(self.db.catalog), engine
+            )
             ticket._cache_key = key
             cached = self.result_cache.get(key)
             if cached is not None:
@@ -544,6 +556,9 @@ class QueryService:
             out["plan_cache"] = self.db.plan_cache.stats()
         if self.result_cache is not None:
             out["result_cache"] = self.result_cache.stats()
+        reuse = getattr(self.db, "reuse", None)
+        if reuse is not None:
+            out["reuse"] = reuse.stats()
         out["telemetry"] = self.telemetry.summary()
         return out
 

@@ -26,6 +26,7 @@ commands:
     .health [n]                service health time series (last n samples)
     .slowlog [n]               slow-query log (last n records)
     .fingerprints [n]          per-plan-fingerprint workload stats + drift
+    .reuse [stats|list|clear]  materialization manager (cached buffers/views)
     .timing on|off             toggle per-query timing output
     .quit                      exit
 
@@ -151,6 +152,8 @@ class Shell:
             self._slowlog(argument)
         elif command == ".fingerprints":
             self._fingerprints(argument)
+        elif command == ".reuse":
+            self._reuse(argument)
         else:
             self.write(f"unknown command: {command} (try .help)")
         return True
@@ -456,6 +459,50 @@ class Shell:
                     f"(baseline {entry.q_baseline.mean:.2f} -> "
                     f"recent {entry.q_recent:.2f})"
                 )
+
+    def _reuse(self, argument: str) -> None:
+        manager = getattr(self.db, "reuse", None)
+        if manager is None:
+            self.write(
+                "(reuse disabled — open the database with reuse=True)"
+            )
+            return
+        sub = argument.strip().lower() or "stats"
+        if sub == "clear":
+            dropped = manager.clear()
+            self.write(f"reuse: {dropped} entries dropped")
+            return
+        if sub == "list":
+            entries = manager.list_entries()
+            if not entries:
+                self.write("(no resident entries)")
+                return
+            for row in entries:
+                self.write(
+                    f"  [{row['kind']}] {row['key']} {row['detail']} "
+                    f"rows={row['rows']} bytes={row['bytes']} "
+                    f"uses={row['uses']}"
+                )
+            return
+        if sub != "stats":
+            self.write("usage: .reuse [stats|list|clear]")
+            return
+        stats = manager.stats()
+        self.write(
+            f"  hits {stats['hits']} / misses {stats['misses']} "
+            f"(rate {stats['hit_rate']:.2f}), "
+            f"evictions {stats['evictions']}, "
+            f"invalidations {stats['invalidations']}"
+        )
+        self.write(
+            f"  resident {stats['resident_bytes']} / "
+            f"{stats['budget_bytes']} bytes in "
+            f"{stats['buffers']} buffers + {stats['views']} views"
+        )
+        self.write(
+            f"  maintenance: {stats['maintenance_events']} events, "
+            f"{stats['maintenance_s'] * 1000:.2f} ms total"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -36,6 +36,28 @@ class Table:
         #: Called (under the lock) after every mutation; the owning catalog
         #: installs this to advance its global version counter.
         self._on_mutate = None
+        #: Additional mutation observers, called (under the lock, after the
+        #: version bump) as ``observer(kind, batch)`` where ``kind`` is
+        #: ``"insert"`` (``batch`` is the appended delta) or ``"truncate"``
+        #: (``batch`` is ``None``). The materialization manager registers
+        #: here to drive incremental view maintenance.
+        self._observers: List[Any] = []
+
+    # ------------------------------------------------------------------
+    def add_observer(self, observer) -> None:
+        """Register a mutation observer (see :attr:`_observers`)."""
+        with self._lock:
+            if observer not in self._observers:
+                self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        with self._lock:
+            if observer in self._observers:
+                self._observers.remove(observer)
+
+    def _notify(self, kind: str, batch: Optional[Batch]) -> None:
+        for observer in list(self._observers):
+            observer(kind, batch)
 
     # ------------------------------------------------------------------
     @property
@@ -101,6 +123,7 @@ class Table:
             self.version += 1
             if self._on_mutate is not None:
                 self._on_mutate()
+            self._notify("insert", batch)
 
     def truncate(self) -> None:
         with self._lock:
@@ -111,6 +134,7 @@ class Table:
             self.version += 1
             if self._on_mutate is not None:
                 self._on_mutate()
+            self._notify("truncate", None)
 
     # ------------------------------------------------------------------
     def to_batch(self) -> Batch:
@@ -144,8 +168,14 @@ class Catalog:
         self._tables: Dict[str, Table] = {}
         self._lock = threading.RLock()
         #: Bumped (under the lock) by every DDL statement and every mutation
-        #: of a catalog-owned table.
+        #: of a catalog-owned table. Kept as the coarse fallback key for
+        #: cache entries that cannot enumerate their table dependencies.
         self.version = 0
+        #: Bumped only by DDL (create/drop table) — never by DML. Cache
+        #: entries that track per-table versions pair them with this, so an
+        #: insert into one table no longer invalidates entries that only
+        #: touch other tables.
+        self.ddl_version = 0
 
     @property
     def lock(self) -> threading.RLock:
@@ -172,6 +202,7 @@ class Catalog:
             table._on_mutate = self._bump_version
             self._tables[key] = table
             self.version += 1
+            self.ddl_version += 1
             return table
 
     def drop_table(self, name: str) -> None:
@@ -182,6 +213,7 @@ class Catalog:
             table = self._tables.pop(key)
             table._on_mutate = None
             self.version += 1
+            self.ddl_version += 1
 
     def has(self, name: str) -> bool:
         return name.lower() in self._tables

@@ -79,6 +79,32 @@ def make_snapshot(pr=5, wall=0.100, qps=50.0, p95=20.0):
     }
 
 
+def make_reuse_block(warm=0.010, cold=0.100, hits=12):
+    """A schema-valid optional ``reuse`` block (cold-vs-warm walls)."""
+    def entry(c, w):
+        return {
+            "cold_wall_s": c,
+            "warm_wall_s": w,
+            "warm_speedup": round(c / w, 4),
+            "verified": True,
+        }
+
+    return {
+        "queries": {
+            "ordered_scan": entry(cold, warm),
+            "group_fine": entry(cold * 2, warm),
+        },
+        "manager": {
+            "hits": hits,
+            "misses": 2,
+            "hit_rate": 0.86,
+            "views": 1,
+            "buffers": 2,
+            "resident_bytes": 4096,
+        },
+    }
+
+
 # ----------------------------------------------------------------------
 # Schema validation
 # ----------------------------------------------------------------------
@@ -144,6 +170,43 @@ class TestValidateSnapshot:
         doc = make_snapshot()
         doc["correctness"]["mismatches"] = [42]
         assert any("mismatches" in e for e in validate_snapshot(doc))
+
+    # --- the optional reuse block -------------------------------------
+    def test_reuse_block_optional_but_validated(self):
+        doc = make_snapshot()
+        assert validate_snapshot(doc) == []  # absent is fine (pre-PR-8)
+        doc["reuse"] = make_reuse_block()
+        assert validate_snapshot(doc) == []
+
+    def test_reuse_negative_wall_rejected(self):
+        doc = make_snapshot()
+        doc["reuse"] = make_reuse_block()
+        doc["reuse"]["queries"]["ordered_scan"]["warm_wall_s"] = -1.0
+        assert any("warm_wall_s" in e for e in validate_snapshot(doc))
+
+    def test_reuse_zero_speedup_rejected(self):
+        doc = make_snapshot()
+        doc["reuse"] = make_reuse_block()
+        doc["reuse"]["queries"]["ordered_scan"]["warm_speedup"] = 0.0
+        assert any("warm_speedup" in e for e in validate_snapshot(doc))
+
+    def test_reuse_empty_queries_rejected(self):
+        doc = make_snapshot()
+        doc["reuse"] = make_reuse_block()
+        doc["reuse"]["queries"] = {}
+        assert any("reuse.queries" in e for e in validate_snapshot(doc))
+
+    def test_reuse_hit_rate_bounds(self):
+        doc = make_snapshot()
+        doc["reuse"] = make_reuse_block()
+        doc["reuse"]["manager"]["hit_rate"] = 1.5
+        assert any("hit_rate" in e for e in validate_snapshot(doc))
+
+    def test_reuse_negative_counter_rejected(self):
+        doc = make_snapshot()
+        doc["reuse"] = make_reuse_block()
+        doc["reuse"]["manager"]["hits"] = -1
+        assert any("manager.hits" in e for e in validate_snapshot(doc))
 
 
 # ----------------------------------------------------------------------
@@ -217,6 +280,60 @@ class TestGate:
         report = compare_snapshots(base, cur, advisory_wall=True)
         assert not report.ok
         assert any("correctness" in f for f in report.failures)
+
+    # --- the optional reuse block -------------------------------------
+    def test_reuse_blocks_compare_cleanly(self):
+        base, cur = make_snapshot(pr=5), make_snapshot(pr=6)
+        base["reuse"] = make_reuse_block()
+        cur["reuse"] = make_reuse_block()
+        report = compare_snapshots(base, cur)
+        assert report.ok, report.render()
+
+    def test_reuse_baseline_without_block_still_gates(self):
+        """PR 8's snapshot gates against PR 6's block-less baseline."""
+        base, cur = make_snapshot(pr=5), make_snapshot(pr=6)
+        cur["reuse"] = make_reuse_block()
+        report = compare_snapshots(base, cur)
+        assert report.ok, report.render()
+
+    def test_unverified_reuse_query_is_fatal(self):
+        base, cur = make_snapshot(pr=5), make_snapshot(pr=6)
+        cur["reuse"] = make_reuse_block()
+        cur["reuse"]["queries"]["group_fine"]["verified"] = False
+        report = compare_snapshots(base, cur, advisory_wall=True)
+        assert not report.ok
+        assert any("reuse/group_fine" in f for f in report.failures)
+
+    def test_zero_manager_hits_is_fatal(self):
+        base, cur = make_snapshot(pr=5), make_snapshot(pr=6)
+        cur["reuse"] = make_reuse_block(hits=0)
+        report = compare_snapshots(base, cur, advisory_wall=True)
+        assert not report.ok
+        assert any("no hits" in f for f in report.failures)
+
+    def test_warm_wall_regression_fails(self):
+        base, cur = make_snapshot(pr=5), make_snapshot(pr=6)
+        base["reuse"] = make_reuse_block(warm=0.010)
+        cur["reuse"] = make_reuse_block(warm=0.030)
+        report = compare_snapshots(base, cur)
+        assert not report.ok
+        assert any("reuse/" in f and "warm" in f for f in report.failures)
+
+    def test_vanished_reuse_query_fails(self):
+        base, cur = make_snapshot(pr=5), make_snapshot(pr=6)
+        base["reuse"] = make_reuse_block()
+        cur["reuse"] = make_reuse_block()
+        del cur["reuse"]["queries"]["group_fine"]
+        report = compare_snapshots(base, cur)
+        assert not report.ok
+        assert any("vanished" in f for f in report.failures)
+
+    def test_warm_slower_than_cold_warns(self):
+        base, cur = make_snapshot(pr=5), make_snapshot(pr=6)
+        cur["reuse"] = make_reuse_block(warm=0.200, cold=0.100)
+        report = compare_snapshots(base, cur)
+        assert report.ok, report.render()
+        assert any("slower than cold" in w for w in report.warnings)
 
     def test_unverified_query_fails(self):
         base = make_snapshot(pr=5)
@@ -400,12 +517,16 @@ def test_build_snapshot_end_to_end():
     )
     assert validate_snapshot(doc) == []
     assert doc["correctness"]["mismatches"] == []
-    assert doc["correctness"]["queries_verified"] == 3
+    # 3 corpus queries + the 5 cold-vs-warm reuse queries.
+    assert doc["correctness"]["queries_verified"] == 8
     for family in ("tpch", "star_ds", "sensor_edge"):
         entries = doc["families"][family]["queries"]
         assert len(entries) == 1
         for entry in entries.values():
             assert entry["verified"]
+    assert doc["reuse"]["manager"]["hits"] > 0
+    for entry in doc["reuse"]["queries"].values():
+        assert entry["verified"]
     rerun = copy.deepcopy(doc)
     rerun["pr"] = 1000
     report = compare_snapshots(doc, rerun)

@@ -23,8 +23,10 @@ N_RUNS = 3
 SEED = 2026
 
 
-def _make_db(rng: random.Random) -> Database:
-    db = Database()
+def _make_db(rng: random.Random, reuse=None) -> Database:
+    # The plan cache is left on; distinct random plans re-translate anyway,
+    # which is what lets the reuse sweep below consult the manager.
+    db = Database(reuse=reuse)
     db.create_table(
         "t", {"g": "int64", "h": "int64", "x": "float64", "y": "float64"}
     )
@@ -156,6 +158,47 @@ def test_parallel_runs_are_deterministic(prop_db, case):
     # Stable is not enough — it must also be *right*.
     reference = normalized_rows(prop_db.sql(sql, engine="naive"))
     assert normalized_rows(runs[0]) == reference, f"wrong answer on: {sql}"
+
+
+@pytest.fixture(scope="module")
+def reuse_db():
+    """Same seeded data, but with the materialization manager enabled and
+    views building on first demand — successive random plans share the
+    base-table fragment, so the sweep exercises cross-query buffer hits,
+    view builds, and lattice re-aggregation."""
+    from repro.reuse import ReuseConfig
+
+    return _make_db(random.Random(SEED), reuse=ReuseConfig(view_min_uses=1))
+
+
+@pytest.mark.parametrize("case", _plans(), ids=lambda c: f"plan{c[0]}")
+def test_reuse_on_differential(reuse_db, case):
+    """Reuse-on parallel mode under strict plan verification must match
+    the naive reference on every fuzzed plan — cached-buffer and
+    view-source substitutions included. Canonicalized with the corpus
+    rounding (9 significant digits before 6 decimals): view
+    re-aggregation legitimately re-associates float sums, and a last-ulp
+    shift can straddle a bare round-to-6 midpoint."""
+    from repro.bench.corpora import canonical_rows
+
+    _, sql = case
+    config = EngineConfig(
+        num_threads=4,
+        num_partitions=8,
+        execution_mode="parallel",
+        verify_plans="strict",
+    )
+    rows = canonical_rows(reuse_db.sql(sql, config=config))
+    reference = canonical_rows(reuse_db.sql(sql, engine="naive"))
+    assert rows == reference, f"wrong answer on: {sql}"
+
+
+def test_reuse_sweep_exercised_the_manager(reuse_db):
+    """The differential sweep is only meaningful if the manager actually
+    served something during it."""
+    stats = reuse_db.reuse.stats()
+    assert stats["hits"] > 0
+    assert stats["views"] + stats["buffers"] > 0
 
 
 def test_corpus_covers_windows_and_grouping_sets():

@@ -240,8 +240,10 @@ class TestPlanCache:
         db = make_db(rows=20)
         db.create_table_as("copy_t", "SELECT g, x FROM t")
         assert db.table("copy_t").num_rows == 20
-        # Everything in the cache is a reusable SELECT.
-        for (normalized, _version) in list(db.plan_cache._entries):
+        # Everything in the cache is a reusable SELECT. (Keys are plain
+        # normalized-SQL strings; staleness is tracked per entry via
+        # table-version dependencies, not in the key.)
+        for normalized in list(db.plan_cache._entries):
             assert normalized.startswith("select")
 
 

@@ -26,9 +26,10 @@ R3  unlocked-metrics — outside ``observability/metrics.py`` nobody may
 
 R4  unregistered-operator — every ``Lolepop`` subclass in the source tree
     must appear as ``op=<Class>`` in an ``OperatorContract`` registration
-    in ``lolepop/properties.py`` (the same invariant
-    ``assert_all_registered`` enforces at import time, checked here
-    without importing anything).
+    somewhere in the ``lolepop`` package (``properties.py`` holds the core
+    eight; satellite modules like ``reuse_op.py`` register their own — the
+    same invariant ``assert_all_registered`` enforces at import time,
+    checked here without importing anything).
 
 Exit status 1 when any rule fires; findings print as
 ``path:line: [rule] message``.
@@ -398,11 +399,10 @@ def registered_ops(properties_tree: ast.Module) -> Set[str]:
 def check_registry(
     trees: Dict[Path, ast.Module], findings: List[Finding]
 ) -> None:
-    properties_path = next(
-        (p for p in trees if p.name == "properties.py" and "lolepop" in str(p)),
-        None,
-    )
-    if properties_path is None:
+    registry_paths = [
+        p for p in trees if p.name == "properties.py" and "lolepop" in str(p)
+    ]
+    if not registry_paths:
         findings.append(
             Finding(
                 Path("src"),
@@ -412,7 +412,12 @@ def check_registry(
             )
         )
         return
-    ops = registered_ops(trees[properties_path])
+    # Contracts may be registered from any lolepop module (properties.py
+    # holds the core eight; satellite operators register their own).
+    ops: Set[str] = set()
+    for path, tree in trees.items():
+        if "lolepop" in str(path):
+            ops |= registered_ops(tree)
     for name, (path, cls) in sorted(lolepop_subclasses(trees).items()):
         if name not in ops:
             findings.append(
@@ -421,7 +426,7 @@ def check_registry(
                     cls.lineno,
                     "unregistered-operator",
                     f"{name} subclasses Lolepop but has no OperatorContract "
-                    "registration in lolepop/properties.py",
+                    "registration in the lolepop package",
                 )
             )
 
