@@ -40,6 +40,7 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..analysis.sanitizer import SAN as _SAN
 from .scheduler import SplittableTask
 from .trace import ExecutionTrace, RegionSpan, TraceRecord
 
@@ -121,6 +122,24 @@ class ParallelScheduler:
     ) -> List:
         """Execute ``fn(item)`` for every item on the worker pool as one
         parallel region. Returns results in item order."""
+        if _SAN.active is not None:  # sanitizer epoch brackets the barrier
+            _SAN.active.begin_region(operator, phase)
+            try:
+                return self._run_region_impl(
+                    operator, phase, items, fn, splittable
+                )
+            finally:
+                _SAN.active.end_region()
+        return self._run_region_impl(operator, phase, items, fn, splittable)
+
+    def _run_region_impl(
+        self,
+        operator: str,
+        phase: str,
+        items: Sequence,
+        fn: Callable,
+        splittable: bool = False,
+    ) -> List:
         if self.cancellation is not None:
             self.cancellation.check()
         items = list(items)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 from typing import Callable, List, NamedTuple, Optional, Sequence
 
+from ..analysis.sanitizer import SAN as _SAN
 from .trace import ExecutionTrace, RegionSpan, TraceRecord
 
 #: Minimum simulated duration of one split chunk (seconds). Splitting below
@@ -114,6 +115,24 @@ class SimulatedScheduler:
         """Execute ``fn(item)`` for every item, measure, and schedule the
         measured durations as one parallel region. Returns results in item
         order."""
+        if _SAN.active is not None:  # sanitizer epoch brackets the barrier
+            _SAN.active.begin_region(operator, phase)
+            try:
+                return self._run_region_impl(
+                    operator, phase, items, fn, splittable
+                )
+            finally:
+                _SAN.active.end_region()
+        return self._run_region_impl(operator, phase, items, fn, splittable)
+
+    def _run_region_impl(
+        self,
+        operator: str,
+        phase: str,
+        items: Sequence,
+        fn: Callable,
+        splittable: bool = False,
+    ) -> List:
         if self.cancellation is not None:
             self.cancellation.check()
         results = []

@@ -41,7 +41,18 @@ Property encodings:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple, Type
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from ..errors import PlanError
 from ..expr.nodes import ColumnRef, Expr
@@ -78,8 +89,8 @@ class PhysProps:
         schema: Optional[Schema] = None,
         partitioned_by: Optional[Tuple[str, ...]] = None,
         ordered_by: Sequence[OrderKey] = (),
-        unique_on: Optional[Sequence[Sequence[str]]] = None,
-    ):
+        unique_on: Optional[Iterable[Iterable[str]]] = None,
+    ) -> None:
         #: 'stream' (list of batches) or 'buffer' (TupleBuffer).
         self.kind = kind
         self.schema = schema
@@ -181,14 +192,17 @@ class OperatorContract:
         produces: str,
         min_inputs: int,
         max_inputs: Optional[int],
-        requires: Callable[[Lolepop, List[PhysProps]], List[str]],
-        derive: Callable[[Lolepop, List[PhysProps]], PhysProps],
+        # ``Any`` for the node parameter so each rule function can take its
+        # concrete operator class (contravariance would otherwise reject
+        # e.g. ``_sort_requires(node: SortOp, ...)``).
+        requires: Callable[[Any, Sequence[Optional[PhysProps]]], List[str]],
+        derive: Callable[[Any, Sequence[Optional[PhysProps]]], PhysProps],
         mutates_input: bool = False,
         buffer_role: Optional[str] = None,
         mutation_effect: Optional[str] = None,
         order_sensitive: Callable[[Lolepop], bool] = lambda node: False,
         reads_full_schema: Callable[[Lolepop], bool] = lambda node: False,
-    ):
+    ) -> None:
         self.name = name
         self.op = op
         #: Input kinds the operator's ``execute`` accepts.
@@ -268,7 +282,7 @@ def assert_all_registered() -> None:
     """Every currently defined :class:`Lolepop` subclass must resolve to a
     contract. Called at ``repro.lolepop`` import time."""
 
-    def walk(cls: Type[Lolepop]):
+    def walk(cls: Type[Lolepop]) -> None:
         for sub in cls.__subclasses__():
             contract_of(sub)
             walk(sub)
@@ -311,7 +325,7 @@ def _missing_columns(
     return [f"{what} references missing column(s) {', '.join(missing)}"]
 
 
-def _first(ins: List[Optional[PhysProps]]) -> Optional[PhysProps]:
+def _first(ins: Sequence[Optional[PhysProps]]) -> Optional[PhysProps]:
     return ins[0] if ins else None
 
 
@@ -322,11 +336,11 @@ def _unknown(kind: str) -> PhysProps:
 # ----------------------------------------------------------------------
 # SOURCE
 # ----------------------------------------------------------------------
-def _source_requires(node: SourceOp, ins) -> List[str]:
+def _source_requires(node: SourceOp, ins: Sequence[Optional[PhysProps]]) -> List[str]:
     return []
 
 
-def _source_derive(node: SourceOp, ins) -> PhysProps:
+def _source_derive(node: SourceOp, ins: Sequence[Optional[PhysProps]]) -> PhysProps:
     plan = getattr(node, "plan", None)
     schema = getattr(plan, "schema", None) if plan is not None else None
     return PhysProps("stream", schema=schema)
@@ -335,11 +349,11 @@ def _source_derive(node: SourceOp, ins) -> PhysProps:
 # ----------------------------------------------------------------------
 # PARTITION: stream -> buffer hash-clustered on the keys
 # ----------------------------------------------------------------------
-def _partition_requires(node: PartitionOp, ins) -> List[str]:
+def _partition_requires(node: PartitionOp, ins: Sequence[Optional[PhysProps]]) -> List[str]:
     return _missing_columns(_first(ins), node.keys, "partition key")
 
 
-def _partition_derive(node: PartitionOp, ins) -> PhysProps:
+def _partition_derive(node: PartitionOp, ins: Sequence[Optional[PhysProps]]) -> PhysProps:
     source = _first(ins)
     if node.keys:
         partitioned_by: Optional[Tuple[str, ...]] = tuple(node.keys)
@@ -359,13 +373,13 @@ def _partition_derive(node: PartitionOp, ins) -> PhysProps:
 # ----------------------------------------------------------------------
 # SORT: reorders the buffer in place, per partition
 # ----------------------------------------------------------------------
-def _sort_requires(node: SortOp, ins) -> List[str]:
+def _sort_requires(node: SortOp, ins: Sequence[Optional[PhysProps]]) -> List[str]:
     return _missing_columns(
         _first(ins), [name for name, _ in node.keys], "sort key"
     )
 
 
-def _sort_derive(node: SortOp, ins) -> PhysProps:
+def _sort_derive(node: SortOp, ins: Sequence[Optional[PhysProps]]) -> PhysProps:
     source = _first(ins)
     if source is None or source.kind != "buffer":
         return PhysProps("buffer", ordered_by=tuple(node.keys))
@@ -381,7 +395,7 @@ def _sort_derive(node: SortOp, ins) -> PhysProps:
 # ----------------------------------------------------------------------
 # MERGE: sorted partitions -> one globally ordered partition
 # ----------------------------------------------------------------------
-def _merge_requires(node: MergeOp, ins) -> List[str]:
+def _merge_requires(node: MergeOp, ins: Sequence[Optional[PhysProps]]) -> List[str]:
     source = _first(ins)
     problems = _missing_columns(
         source, [name for name, _ in node.keys], "merge key"
@@ -401,7 +415,7 @@ def _merge_requires(node: MergeOp, ins) -> List[str]:
     return problems
 
 
-def _merge_derive(node: MergeOp, ins) -> PhysProps:
+def _merge_derive(node: MergeOp, ins: Sequence[Optional[PhysProps]]) -> PhysProps:
     source = _first(ins)
     return PhysProps(
         "buffer",
@@ -415,7 +429,7 @@ def _merge_derive(node: MergeOp, ins) -> PhysProps:
 # ----------------------------------------------------------------------
 # SCAN: buffer (or stream) -> stream, with optional projection/limit
 # ----------------------------------------------------------------------
-def _scan_requires(node: ScanOp, ins) -> List[str]:
+def _scan_requires(node: ScanOp, ins: Sequence[Optional[PhysProps]]) -> List[str]:
     if node.project is None:
         return []
     refs: set = set()
@@ -424,7 +438,7 @@ def _scan_requires(node: ScanOp, ins) -> List[str]:
     return _missing_columns(_first(ins), sorted(refs), "SCAN projection")
 
 
-def _scan_derive(node: ScanOp, ins) -> PhysProps:
+def _scan_derive(node: ScanOp, ins: Sequence[Optional[PhysProps]]) -> PhysProps:
     source = _first(ins)
     if node.project is None:
         schema = source.schema if source is not None else None
@@ -455,7 +469,7 @@ def _scan_derive(node: ScanOp, ins) -> PhysProps:
 # ----------------------------------------------------------------------
 # ORDAGG: buffer sorted on (group keys..., value order) -> unique stream
 # ----------------------------------------------------------------------
-def _ordagg_requires(node: OrdAggOp, ins) -> List[str]:
+def _ordagg_requires(node: OrdAggOp, ins: Sequence[Optional[PhysProps]]) -> List[str]:
     source = _first(ins)
     names = list(node.key_names) + [
         t.arg for t in node.tasks if t.arg is not None
@@ -500,7 +514,7 @@ def _ordagg_requires(node: OrdAggOp, ins) -> List[str]:
     return problems
 
 
-def _ordagg_derive(node: OrdAggOp, ins) -> PhysProps:
+def _ordagg_derive(node: OrdAggOp, ins: Sequence[Optional[PhysProps]]) -> PhysProps:
     source = _first(ins)
     schema = None
     if source is not None and source.schema is not None:
@@ -517,14 +531,14 @@ def _ordagg_derive(node: OrdAggOp, ins) -> PhysProps:
 # HASHAGG: stream -> unique stream (two-phase scatter keeps global
 # uniqueness: partitions are disjoint by key hash)
 # ----------------------------------------------------------------------
-def _hashagg_requires(node: HashAggOp, ins) -> List[str]:
+def _hashagg_requires(node: HashAggOp, ins: Sequence[Optional[PhysProps]]) -> List[str]:
     names = list(node.key_names) + [
         t.arg for t in node.tasks if t.arg is not None
     ]
     return _missing_columns(_first(ins), names, "HASHAGG")
 
 
-def _hashagg_derive(node: HashAggOp, ins) -> PhysProps:
+def _hashagg_derive(node: HashAggOp, ins: Sequence[Optional[PhysProps]]) -> PhysProps:
     source = _first(ins)
     schema = None
     if source is not None and source.schema is not None:
@@ -548,7 +562,7 @@ def _window_spec(node: WindowOp) -> Tuple[List[str], List[OrderKey]]:
     return part_names, order_keys
 
 
-def _window_requires(node: WindowOp, ins) -> List[str]:
+def _window_requires(node: WindowOp, ins: Sequence[Optional[PhysProps]]) -> List[str]:
     source = _first(ins)
     part_names, order_keys = _window_spec(node)
     problems = _missing_columns(
@@ -586,7 +600,7 @@ def _window_requires(node: WindowOp, ins) -> List[str]:
     return problems
 
 
-def _window_derive(node: WindowOp, ins) -> PhysProps:
+def _window_derive(node: WindowOp, ins: Sequence[Optional[PhysProps]]) -> PhysProps:
     source = _first(ins)
     if source is None or source.kind != "buffer":
         return _unknown("buffer")
@@ -618,7 +632,7 @@ def _window_derive(node: WindowOp, ins) -> PhysProps:
 # ----------------------------------------------------------------------
 # COMBINE: unique producers -> one joined/unioned buffer
 # ----------------------------------------------------------------------
-def _combine_requires(node: CombineOp, ins) -> List[str]:
+def _combine_requires(node: CombineOp, ins: Sequence[Optional[PhysProps]]) -> List[str]:
     problems: List[str] = []
     if node.mode == "join":
         keys = [name.lower() for name in node.key_names]
@@ -653,18 +667,21 @@ def _combine_requires(node: CombineOp, ins) -> List[str]:
     return problems
 
 
-def _combine_derive(node: CombineOp, ins) -> PhysProps:
+def _combine_derive(node: CombineOp, ins: Sequence[Optional[PhysProps]]) -> PhysProps:
     schema = None
     unique: Optional[List[List[str]]] = None
     if node.mode == "join":
         unique = [list(node.key_names)]
-        if all(p is not None and p.schema is not None for p in ins):
+        schemas = [
+            p.schema for p in ins if p is not None and p.schema is not None
+        ]
+        if schemas and len(schemas) == len(ins):
             try:
                 keys = list(node.key_names)
-                fields = [ins[0].schema[name] for name in keys]
+                fields = [schemas[0][name] for name in keys]
                 taken = {name.lower() for name in keys}
-                for source in ins:
-                    for field in source.schema:
+                for source_schema in schemas:
+                    for field in source_schema:
                         if field.name.lower() not in taken:
                             taken.add(field.name.lower())
                             fields.append(field)

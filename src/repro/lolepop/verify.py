@@ -50,7 +50,9 @@ class Diagnostic:
 
     __slots__ = ("code", "node", "message")
 
-    def __init__(self, code: str, node: Optional[Lolepop], message: str):
+    def __init__(
+        self, code: str, node: Optional[Lolepop], message: str
+    ) -> None:
         #: Stable machine-readable family: 'no-sink', 'cycle',
         #: 'unreachable', 'no-contract', 'arity', 'kind-mismatch',
         #: 'property', 'race', 'unrebindable-source'.
@@ -240,7 +242,11 @@ def check_dag(
     ids = {id(node): i for i, node in enumerate(order)}
     for root_id, muts in mutators.items():
         for mutator in muts:
-            effect = contracts[id(mutator)].mutation_effect
+            # A node only lands in ``mutators`` when its contract resolved
+            # (the walk above skips contract-less nodes).
+            mutator_contract = contracts[id(mutator)]
+            assert mutator_contract is not None
+            effect = mutator_contract.mutation_effect
             for consumer in consumers.get(root_id, []):
                 if consumer is mutator:
                     continue
@@ -266,7 +272,7 @@ def check_dag(
                             consumer,
                             f"reads a shared buffer that "
                             f"#{ids[id(mutator)]} "
-                            f"{contracts[id(mutator)].name} mutates in "
+                            f"{mutator_contract.name} mutates in "
                             f"place ({effect}), but no data/after edge "
                             f"orders the two — add an anti-dependency "
                             f"edge (run_after)",

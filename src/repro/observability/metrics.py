@@ -16,7 +16,18 @@ Two scopes:
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    TypeVar,
+    Union,
+)
 
 __all__ = [
     "Counter",
@@ -80,7 +91,7 @@ class Histogram:
 
     __slots__ = ("bounds", "counts", "total", "sum", "_lock")
 
-    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS):
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
         self.bounds: Tuple[float, ...] = tuple(sorted(bounds))
         #: counts[i] = observations <= bounds[i]; counts[-1] = +Inf bucket.
         self.counts: List[int] = [0] * (len(self.bounds) + 1)
@@ -130,7 +141,7 @@ class Histogram:
                 return self.bounds[-1]
         return self.bounds[-1]
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "total": self.total,
             "sum": self.sum,
@@ -152,14 +163,21 @@ class Histogram:
         }
 
 
+#: The primitives a registry hands out.
+Metric = Union[Counter, Gauge, Histogram]
+_M = TypeVar("_M", bound=Metric)
+
+
 class MetricsRegistry:
     """Named counters / gauges / histograms behind one creation lock."""
 
     def __init__(self) -> None:
-        self._metrics: Dict[str, object] = {}
+        self._metrics: Dict[str, Metric] = {}
         self._lock = threading.Lock()
 
-    def _get_or_create(self, name: str, factory, kind) -> object:
+    def _get_or_create(
+        self, name: str, factory: Callable[[], _M], kind: Type[_M]
+    ) -> _M:
         metric = self._metrics.get(name)
         if metric is None:
             with self._lock:
@@ -192,7 +210,7 @@ class MetricsRegistry:
             if isinstance(metric, Histogram):
                 out[name] = metric.to_dict()
             else:
-                out[name] = metric.value  # type: ignore[union-attr]
+                out[name] = metric.value
         return out
 
     def reset(self) -> None:
@@ -233,20 +251,20 @@ class OperatorStats:
         self.extra: Dict[str, object] = {}
 
     # -- accumulation ---------------------------------------------------
-    def add_input(self, value) -> None:
+    def add_input(self, value: object) -> None:
         rows, batches, _ = _shape_of(value)
         self.rows_in += rows
         self.batches_in += batches
 
-    def add_output(self, value) -> None:
+    def add_output(self, value: object) -> None:
         rows, batches, buffer_bytes = _shape_of(value)
         self.rows_out += rows
         self.batches_out += batches
         if buffer_bytes > self.peak_buffer_bytes:
             self.peak_buffer_bytes = buffer_bytes
 
-    def to_dict(self) -> dict:
-        out = {
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
             "rows_in": self.rows_in,
             "rows_out": self.rows_out,
             "batches_in": self.batches_in,
@@ -263,7 +281,7 @@ class OperatorStats:
         return out
 
 
-def _shape_of(value) -> Tuple[int, int, int]:
+def _shape_of(value: object) -> Tuple[int, int, int]:
     """(rows, batches, buffer bytes) of an operator input/output value."""
     from ..storage.buffer import TupleBuffer
 
@@ -283,7 +301,7 @@ class QueryProfile:
     the shell's ``.profile json`` and the benchmark ``--profile-dir`` flag.
     """
 
-    def __init__(self, query: Optional[str] = None):
+    def __init__(self, query: Optional[str] = None) -> None:
         self.query = query
         self.engine = "lolepop"
         self.serial_time = 0.0
@@ -296,13 +314,15 @@ class QueryProfile:
         #: Optimizer / translator rewrite log across all executed DAGs.
         self.rewrites: List[str] = []
         #: Executed DAGs in construction order (nodes carry their stats).
-        self.dags: List[object] = []
+        #: ``Any`` (not ``object``): the DAG type lives in ``repro.lolepop``
+        #: and importing it here would cycle.
+        self.dags: List[Any] = []
 
     # ------------------------------------------------------------------
     def count(self, name: str, amount: float = 1.0) -> None:
         self.counters[name] = self.counters.get(name, 0.0) + amount
 
-    def add_dag(self, dag) -> None:
+    def add_dag(self, dag: Any) -> None:
         self.dags.append(dag)
         self.rewrites.extend(getattr(dag, "rewrites", ()))
 
@@ -310,7 +330,7 @@ class QueryProfile:
     def operator_stats(self) -> List[Tuple[int, int, str, str, OperatorStats]]:
         """Flat list of (dag index, node index, name, describe, stats) over
         every executed DAG node that collected stats."""
-        out = []
+        out: List[Tuple[int, int, str, str, OperatorStats]] = []
         for dag_index, dag in enumerate(self.dags):
             for node_index, node in enumerate(dag.topological_order()):
                 stats = getattr(node, "stats", None)
@@ -324,10 +344,10 @@ class QueryProfile:
         return sum(entry[4].wall_time for entry in self.operator_stats())
 
     # ------------------------------------------------------------------
-    def to_dict(self, trace=None) -> dict:
+    def to_dict(self, trace: Optional[Any] = None) -> Dict[str, object]:
         """JSON-serializable profile; pass the query's ``ExecutionTrace`` to
         embed Chrome trace events."""
-        payload = {
+        payload: Dict[str, object] = {
             "query": self.query,
             "engine": self.engine,
             "execution_mode": self.execution_mode,

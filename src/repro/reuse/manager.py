@@ -477,7 +477,8 @@ class MaterializationManager:
                 )
                 state = entry.state
         if entry is None:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             self._event("reuse.miss", store="view", at="runtime")
             entry = self._build_view(plan, analyzed)
             if entry is None:  # table vanished between translate and run
@@ -556,8 +557,10 @@ class MaterializationManager:
                     entry.fingerprint, entry.describe(), "reuse", 0.0
                 )
                 self._evict_to_budget()
-        self.maintenance_s += time.perf_counter() - started
-        self.maintenance_events += 1
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self.maintenance_s += elapsed
+            self.maintenance_events += 1
         self._event(
             "reuse.maintain", store="view", action="build",
             key=entry.describe(), groups=state.num_groups,

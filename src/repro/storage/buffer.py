@@ -30,6 +30,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.sanitizer import SAN as _SAN
 from ..errors import ExecutionError
 from ..types import DataType, Schema
 from .batch import Batch
@@ -78,6 +79,8 @@ class BufferPartition:
         the in-memory chunks."""
         if self.is_spilled or self.num_rows == 0:
             return
+        if _SAN.active is not None:
+            _SAN.active.on_access(self, "w")
         batch = self.ordered_batch()
         self._spill_manager = manager
         self._spill_path = manager.write_batch(batch)
@@ -90,6 +93,8 @@ class BufferPartition:
     def ensure_loaded(self) -> None:
         if not self.is_spilled:
             return
+        if _SAN.active is not None:
+            _SAN.active.on_access(self, "w")
         batch = self._spill_manager.read_batch(
             self._spill_path, self._spill_schema
         )
@@ -120,6 +125,8 @@ class BufferPartition:
     def append(self, batch: Batch) -> None:
         if len(batch) == 0:
             return
+        if _SAN.active is not None:
+            _SAN.active.on_access(self, "w")
         self.ensure_loaded()
         if self.permutation is not None:
             raise ExecutionError("cannot append to a partition with a permutation vector")
@@ -127,12 +134,21 @@ class BufferPartition:
 
     def extend(self, other: "BufferPartition") -> None:
         """Merge another partition's chunk list (cross-thread merge step)."""
+        if _SAN.active is not None:
+            _SAN.active.on_access(self, "w")
+            _SAN.active.on_access(other, "r")
         other.ensure_loaded()
         for chunk in other.chunks:
             self.append(chunk)
 
     def compact(self) -> Batch:
         """Merge the chunk list into a single chunk and return it."""
+        if _SAN.active is not None:
+            # Rewrites the chunk list unless already compacted: two
+            # concurrent lazy compactions of one partition are a real race.
+            _SAN.active.on_access(
+                self, "r" if len(self.chunks) == 1 else "w"
+            )
         self.ensure_loaded()
         if not self.chunks:
             empty = Batch.empty(self.schema)
@@ -185,6 +201,8 @@ class BufferPartition:
         presorted_prefix: int = 0,
     ) -> None:
         """Physically reorder the (compacted) chunk by the sort keys."""
+        if _SAN.active is not None:
+            _SAN.active.on_access(self, "w")
         chunk = self.compact()
         if len(chunk) <= 1:
             self.permutation = None
@@ -202,6 +220,8 @@ class BufferPartition:
     ) -> None:
         """Build a permutation vector (indices + copied keys) without moving
         the tuples themselves."""
+        if _SAN.active is not None:
+            _SAN.active.on_access(self, "w")
         chunk = self.compact()
         if len(chunk) <= 1:
             self.permutation = np.arange(len(chunk), dtype=np.int64)
@@ -223,6 +243,8 @@ class BufferPartition:
         compacted chunk — the merge step of a parallel split sort. Matches
         what :meth:`sort_inplace` / :meth:`sort_permutation` would have
         produced from the same permutation."""
+        if _SAN.active is not None:
+            _SAN.active.on_access(self, "w")
         chunk = self.compact()
         if mode == "permutation":
             self.permutation = order
@@ -240,6 +262,8 @@ class BufferPartition:
         This is the runtime face of the paper's compile-time iterator
         abstraction: consumers never branch on the storage layout.
         """
+        if _SAN.active is not None:
+            _SAN.active.on_access(self, "r")
         chunk = self.compact()
         if self.permutation is None:
             return chunk
@@ -247,6 +271,8 @@ class BufferPartition:
 
     def replace(self, batch: Batch) -> None:
         """Replace partition contents with ``batch`` (in logical order)."""
+        if _SAN.active is not None:
+            _SAN.active.on_access(self, "w")
         self.chunks = [batch]
         self.permutation = None
         self.key_cache = {}
@@ -289,6 +315,8 @@ class TupleBuffer:
         return self.spill_manager is not None
 
     def enable_spilling(self, manager, memory_budget: int) -> None:
+        if _SAN.active is not None:
+            _SAN.active.on_access(self, "w")
         self.spill_manager = manager
         self.memory_budget = memory_budget
 
@@ -347,6 +375,8 @@ class TupleBuffer:
         """
         if len(batch) == 0:
             return []
+        if _SAN.active is not None:
+            _SAN.active.on_access(self, "r")
         if not self.partitioned_by or self.num_partitions == 1:
             return [(0, batch)]
         key_columns = [batch.column(name) for name in self.partitioned_by]
@@ -364,6 +394,8 @@ class TupleBuffer:
 
     def append_pieces(self, pieces: Sequence[Tuple[int, Batch]]) -> None:
         """Append scattered pieces to their partitions (serial merge step)."""
+        if _SAN.active is not None:
+            _SAN.active.on_access(self, "w")
         for pid, piece in pieces:
             self.partitions[pid].append(piece)
 
@@ -408,6 +440,8 @@ class TupleBuffer:
     # Property bookkeeping
     # ------------------------------------------------------------------
     def set_ordering(self, ordering: Ordering) -> None:
+        if _SAN.active is not None:
+            _SAN.active.on_access(self, "w")
         self.ordered_by = tuple(ordering)
 
     def ordering_satisfies(self, required: Ordering) -> bool:
@@ -437,6 +471,8 @@ class TupleBuffer:
         """
         if len(per_partition) != self.num_partitions:
             raise ExecutionError("per-partition column count mismatch")
+        if _SAN.active is not None:
+            _SAN.active.on_access(self, "w")
         from ..types import Field
 
         new_schema = Schema(

@@ -15,6 +15,7 @@ from typing import Any, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..analysis.sanitizer import SAN as _SAN
 from ..errors import ExecutionError
 from ..types import DataType, date_to_days, days_to_date
 
@@ -137,11 +138,15 @@ class Column:
     # ------------------------------------------------------------------
     def take(self, indices: np.ndarray) -> "Column":
         """Gather rows by position (the permutation-vector access path)."""
+        if _SAN.active is not None:
+            _SAN.active.on_access(self, "r")
         values = self.values[indices]
         valid = None if self.valid is None else self.valid[indices]
         return Column(self.dtype, values, valid)
 
     def filter(self, mask: np.ndarray) -> "Column":
+        if _SAN.active is not None:
+            _SAN.active.on_access(self, "r")
         values = self.values[mask]
         valid = None if self.valid is None else self.valid[mask]
         return Column(self.dtype, values, valid)

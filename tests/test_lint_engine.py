@@ -1,0 +1,294 @@
+"""Unit tests for ``tools/lint_engine.py`` (rules R1-R4).
+
+Every rule gets a *firing* corpus — a synthetic source tree seeded with
+exactly the defect the rule exists to catch, asserted at the right path
+and line — and a *clean* corpus proving the fix silences it. The
+buffer-mutator set is additionally pinned: the fallback literal must
+equal the set derived from the real ``storage/buffer.py`` by assignment
+dataflow, so the two can never drift apart again.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def lint_engine():
+    spec = importlib.util.spec_from_file_location(
+        "lint_engine_under_test", REPO_ROOT / "tools" / "lint_engine.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write_corpus(tmp_path: Path, files: dict) -> Path:
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+    return tmp_path
+
+
+def _line_of(root: Path, rel: str, needle: str) -> int:
+    for number, line in enumerate(
+        (root / rel).read_text().splitlines(), start=1
+    ):
+        if needle in line:
+            return number
+    raise AssertionError(f"{needle!r} not found in {rel}")
+
+
+def _registry(*ops: str) -> str:
+    """A minimal ``lolepop/properties.py`` registering ``ops`` — keeps R4
+    quiet for the classes a corpus intends to be contract-complete."""
+    lines = ["class OperatorContract:\n    pass\n\n"]
+    lines += [f"OperatorContract(op={name})\n" for name in ops]
+    return "".join(lines)
+
+
+# ----------------------------------------------------------------------
+# R1: declared produces vs. classified execute returns
+# ----------------------------------------------------------------------
+_R1_OP = """
+    class Lolepop:
+        pass
+
+
+    class StreamyOp(Lolepop):
+        produces = {produces!r}
+
+        def execute(self, ctx, inputs):
+            out = TupleBuffer(self.schema)
+            return out
+    """
+
+
+def test_r1_kind_vs_return_fires(lint_engine, tmp_path):
+    root = _write_corpus(tmp_path, {
+        "lolepop/ops.py": _R1_OP.format(produces="stream"),
+        "lolepop/properties.py": _registry("StreamyOp"),
+    })
+    findings = lint_engine.lint(root)
+    assert [f.rule for f in findings] == ["kind-vs-return"]
+    assert findings[0].path.name == "ops.py"
+    assert findings[0].line == _line_of(root, "lolepop/ops.py", "return out")
+    assert "produces='stream'" in findings[0].message
+
+
+def test_r1_clean_when_declaration_matches(lint_engine, tmp_path):
+    root = _write_corpus(tmp_path, {
+        "lolepop/ops.py": _R1_OP.format(produces="buffer"),
+        "lolepop/properties.py": _registry("StreamyOp"),
+    })
+    assert lint_engine.lint(root) == []
+
+
+# ----------------------------------------------------------------------
+# R2: TupleBuffer mutation without mutates_input = True
+# ----------------------------------------------------------------------
+_R2_OP = """
+    class Lolepop:
+        pass
+
+
+    class ReorderOp(Lolepop):
+        produces = "buffer"
+    {declaration}
+        def execute(self, ctx, inputs):
+            buf = inputs[0]
+            buf.sort_inplace(["k"])
+            return buf
+    """
+
+
+def test_r2_undeclared_mutation_fires(lint_engine, tmp_path):
+    root = _write_corpus(tmp_path, {
+        "lolepop/ops.py": _R2_OP.format(declaration=""),
+        "lolepop/properties.py": _registry("ReorderOp"),
+    })
+    findings = lint_engine.lint(root)
+    assert [f.rule for f in findings] == ["undeclared-mutation"]
+    assert findings[0].line == _line_of(
+        root, "lolepop/ops.py", "buf.sort_inplace"
+    )
+    assert "mutates_input" in findings[0].message
+
+
+def test_r2_clean_when_mutation_declared(lint_engine, tmp_path):
+    root = _write_corpus(tmp_path, {
+        "lolepop/ops.py": _R2_OP.format(
+            declaration="    mutates_input = True\n"
+        ),
+        "lolepop/properties.py": _registry("ReorderOp"),
+    })
+    assert lint_engine.lint(root) == []
+
+
+def test_r2_flags_writes_through_input_buffers(lint_engine, tmp_path):
+    root = _write_corpus(tmp_path, {
+        "lolepop/ops.py": """
+            class Lolepop:
+                pass
+
+
+            class PokeOp(Lolepop):
+                produces = "buffer"
+
+                def execute(self, ctx, inputs):
+                    buf = inputs[0]
+                    buf.partitions[0] = None
+                    return buf
+            """,
+        "lolepop/properties.py": _registry("PokeOp"),
+    })
+    findings = lint_engine.lint(root)
+    assert [f.rule for f in findings] == ["undeclared-mutation"]
+    assert findings[0].line == _line_of(
+        root, "lolepop/ops.py", "buf.partitions[0]"
+    )
+
+
+def test_r2_mutator_set_derived_from_corpus_buffer_source(
+    lint_engine, tmp_path
+):
+    """When the scanned tree ships its own ``storage/buffer.py``, the
+    mutator set comes from *that* source, not the fallback literal: a
+    method found only in the corpus buffer (``munge``) fires, and a
+    fallback-only name (``sort_inplace``) does not."""
+    root = _write_corpus(tmp_path, {
+        "storage/buffer.py": """
+            class TupleBuffer:
+                def munge(self, rows):
+                    self.rows = rows
+
+                def peek(self):
+                    return self.rows
+            """,
+        "lolepop/ops.py": """
+            class Lolepop:
+                pass
+
+
+            class MungeOp(Lolepop):
+                produces = "buffer"
+
+                def execute(self, ctx, inputs):
+                    buf = inputs[0]
+                    buf.munge([])
+                    buf.sort_inplace(["k"])
+                    return buf
+            """,
+        "lolepop/properties.py": _registry("MungeOp"),
+    })
+    findings = lint_engine.lint(root)
+    assert [f.rule for f in findings] == ["undeclared-mutation"]
+    assert findings[0].line == _line_of(root, "lolepop/ops.py", "buf.munge")
+
+
+# ----------------------------------------------------------------------
+# R3: raw writes to GLOBAL_METRICS primitives
+# ----------------------------------------------------------------------
+def test_r3_unlocked_metrics_fires(lint_engine, tmp_path):
+    root = _write_corpus(tmp_path, {
+        "server/handlers.py": """
+            from repro.observability.metrics import GLOBAL_METRICS
+
+
+            def record(n):
+                GLOBAL_METRICS.counter("queries").value = n
+            """,
+        "lolepop/properties.py": _registry(),
+    })
+    findings = lint_engine.lint(root)
+    assert [f.rule for f in findings] == ["unlocked-metrics"]
+    assert findings[0].line == _line_of(
+        root, "server/handlers.py", ".value = n"
+    )
+
+
+def test_r3_clean_through_locked_api_and_inside_metrics_py(
+    lint_engine, tmp_path
+):
+    root = _write_corpus(tmp_path, {
+        "server/handlers.py": """
+            from repro.observability.metrics import GLOBAL_METRICS
+
+
+            def record(n):
+                GLOBAL_METRICS.counter("queries").inc(n)
+            """,
+        # The primitives' own module may touch .value directly.
+        "observability/metrics.py": """
+            def reset_for_test(metric):
+                GLOBAL_METRICS.counter("queries").value = 0.0
+            """,
+        "lolepop/properties.py": _registry(),
+    })
+    assert lint_engine.lint(root) == []
+
+
+# ----------------------------------------------------------------------
+# R4: contract registration completeness
+# ----------------------------------------------------------------------
+def test_r4_unregistered_operator_fires(lint_engine, tmp_path):
+    root = _write_corpus(tmp_path, {
+        "lolepop/ops.py": """
+            class Lolepop:
+                pass
+
+
+            class RegisteredOp(Lolepop):
+                produces = "stream"
+
+
+            class OrphanOp(Lolepop):
+                produces = "stream"
+            """,
+        "lolepop/properties.py": _registry("RegisteredOp"),
+    })
+    findings = lint_engine.lint(root)
+    assert [f.rule for f in findings] == ["unregistered-operator"]
+    assert "OrphanOp" in findings[0].message
+    assert findings[0].line == _line_of(
+        root, "lolepop/ops.py", "class OrphanOp"
+    )
+
+
+def test_r4_reports_missing_registry(lint_engine, tmp_path):
+    root = _write_corpus(tmp_path, {
+        "lolepop/ops.py": """
+            class Lolepop:
+                pass
+            """,
+    })
+    findings = lint_engine.lint(root)
+    assert [f.rule for f in findings] == ["unregistered-operator"]
+    assert "not found" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# De-drift: fallback literal == derived set == real buffer source
+# ----------------------------------------------------------------------
+def test_fallback_literal_matches_derived_mutator_set(lint_engine):
+    from repro.analysis.astutils import derive_mutating_methods
+
+    tree = ast.parse(
+        (REPO_ROOT / "src" / "repro" / "storage" / "buffer.py").read_text()
+    )
+    assert derive_mutating_methods(tree) == set(
+        lint_engine.MUTATING_BUFFER_METHODS
+    )
+
+
+def test_real_source_tree_is_lint_clean(lint_engine):
+    findings = lint_engine.lint(REPO_ROOT / "src")
+    assert findings == [], "\n".join(str(f) for f in findings)

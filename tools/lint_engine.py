@@ -42,7 +42,13 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple
 
-#: TupleBuffer methods that change the buffer's logical contents.
+#: TupleBuffer/BufferPartition methods that change the buffer's logical
+#: contents. This literal is only the *fallback* for source trees that do
+#: not contain ``storage/buffer.py`` (synthetic lint-test corpora): when
+#: the scanned tree has the buffer source, the set is derived from it by
+#: assignment dataflow (``repro.analysis.astutils.derive_mutating_methods``)
+#: so it cannot drift from the implementation. A unit test pins the
+#: derived set equal to this fallback.
 MUTATING_BUFFER_METHODS = {
     "set_ordering",
     "add_columns",
@@ -51,10 +57,37 @@ MUTATING_BUFFER_METHODS = {
     "sort_permutation",
     "apply_sort_order",
     "replace",
-    "scatter_batch",  # writes rows into the buffer's partitions
+    "append",
+    "extend",
     "append_pieces",
+    "append_partitioned",
     "enable_spilling",
 }
+
+
+def resolve_mutating_methods(trees: "Dict[Path, ast.Module]") -> Set[str]:
+    """The buffer-mutator set for this lint run: derived from the scanned
+    tree's ``storage/buffer.py`` when present, else the fallback literal."""
+    buffer_tree = next(
+        (
+            tree for path, tree in trees.items()
+            if str(path).replace("\\", "/").endswith("storage/buffer.py")
+        ),
+        None,
+    )
+    if buffer_tree is None:
+        return set(MUTATING_BUFFER_METHODS)
+    try:
+        from repro.analysis.astutils import derive_mutating_methods
+    except ImportError:
+        src = Path(__file__).resolve().parent.parent / "src"
+        if src.is_dir():
+            sys.path.insert(0, str(src))
+        try:
+            from repro.analysis.astutils import derive_mutating_methods
+        except ImportError:  # analyzer not colocated: keep the fallback
+            return set(MUTATING_BUFFER_METHODS)
+    return derive_mutating_methods(buffer_tree)
 
 
 class Finding:
@@ -282,8 +315,13 @@ def _taints_from_inputs(func: ast.FunctionDef) -> Set[str]:
 
 
 def check_undeclared_mutation(
-    path: Path, cls: ast.ClassDef, findings: List[Finding]
+    path: Path,
+    cls: ast.ClassDef,
+    findings: List[Finding],
+    mutating_methods: Optional[Set[str]] = None,
 ) -> None:
+    if mutating_methods is None:
+        mutating_methods = MUTATING_BUFFER_METHODS
     if bool_attr(cls, "mutates_input"):
         return
     execute = next(
@@ -308,7 +346,7 @@ def check_undeclared_mutation(
     for node in ast.walk(execute):
         if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
             if (
-                node.func.attr in MUTATING_BUFFER_METHODS
+                node.func.attr in mutating_methods
                 and rooted_in_taint(node.func.value)
             ):
                 findings.append(
@@ -439,13 +477,14 @@ def lint(root: Path) -> List[Finding]:
         if tree is not None:
             trees[path] = tree
     findings: List[Finding] = []
+    mutating_methods = resolve_mutating_methods(trees)
     for path, tree in trees.items():
         check_unlocked_metrics(path, tree, findings)
         for cls in iter_classes(tree):
             if "Lolepop" not in base_names(cls) and cls.name != "SourceOp":
                 continue
             check_kind_vs_return(path, cls, findings)
-            check_undeclared_mutation(path, cls, findings)
+            check_undeclared_mutation(path, cls, findings, mutating_methods)
     check_registry(trees, findings)
     return findings
 
