@@ -100,10 +100,11 @@ def build_reuse_workload():
 
 def percentile(values, q):
     """Exact percentile from raw samples. Note the labeling contract with
-    ``repro.observability.metrics.Histogram``: histogram quantiles are
-    bucket-*upper-bound* approximations (reported as ``pNN <=``), while
-    these are exact — so a histogram p95 may legitimately sit above the
-    exact p95 here, never below it."""
+    ``repro.observability.metrics.Histogram``: histogram quantiles
+    interpolate within the bucket holding the target rank (reported as
+    ``pNN ~``), so they track these exact numbers to within one bucket
+    width — in either direction, since interpolation is unbiased rather
+    than the former bucket-upper-bound over-report."""
     if not values:
         return 0.0
     return float(np.percentile(np.asarray(values), q))

@@ -55,6 +55,7 @@ class Database:
         plan_cache_size: int = 256,
         telemetry=None,
         reuse=None,
+        feedback_dir: Optional[str] = None,
     ):
         self.catalog = Catalog()
         self.config = config or EngineConfig(
@@ -95,6 +96,26 @@ class Database:
                 self.catalog, reuse_config, telemetry=self.telemetry
             )
             self.telemetry.attach_reuse(self.reuse.stats)
+        #: Persistent cardinality-feedback store
+        #: (:mod:`repro.observability.feedback`). Enabled by passing
+        #: ``feedback_dir`` or setting ``REPRO_FEEDBACK_DIR``; loads prior
+        #: actuals on start (they calibrate the telemetry estimator) and
+        #: records new ones on every telemetry-enabled execution.
+        self.feedback = None
+        if feedback_dir is None:
+            import os
+
+            feedback_dir = os.environ.get("REPRO_FEEDBACK_DIR") or None
+        if feedback_dir:
+            from .observability.feedback import FeedbackStore
+
+            self.feedback = FeedbackStore(
+                feedback_dir, telemetry=self.telemetry
+            )
+        #: fingerprint -> template observation count at the last
+        #: drift-triggered replan, so a persistently drifting template does
+        #: not discard its plan-cache entry on every query.
+        self._replanned: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Catalog management
@@ -359,6 +380,7 @@ class Database:
         try:
             dags = result.dags if result is not None else []
             spill = getattr(result, "spill", None) or {}
+            skew, straggler = self._trace_skew(result)
             record = QueryRecord(
                 getattr(config, "query_id", None) or f"d{next(self._direct_ids)}",
                 telemetry.truncate_sql(prepared.normalized),
@@ -377,8 +399,17 @@ class Database:
                 spill_bytes_written=spill.get("bytes_written", 0),
                 spill_bytes_read=spill.get("bytes_read", 0),
                 max_q_error=self._max_q_error(prepared, result),
+                morsel_skew=skew,
+                straggler=straggler,
             )
             telemetry.record_query(record)
+            if (
+                self.feedback is not None
+                and status == "ok"
+                and result is not None
+                and prepared.plan is not None
+            ):
+                self._record_feedback(record, prepared, result)
         except Exception:  # noqa: BLE001 — telemetry never takes queries down
             pass
 
@@ -406,6 +437,78 @@ class Database:
             )
         except Exception:  # noqa: BLE001
             pass
+
+    @staticmethod
+    def _trace_skew(result):
+        """(worst parallel-phase morsel skew, its ``operator/phase``) from
+        a collected execution trace, or ``(None, None)`` — traces are off
+        in the serving default, so this is usually one attribute check."""
+        trace = getattr(result, "trace", None) if result is not None else None
+        if trace is None or not trace.records:
+            return None, None
+        from .observability.analyze import morsel_skew
+
+        for entry in morsel_skew(trace):
+            if entry["items"] >= 2:
+                return entry["skew"], f"{entry['operator']}/{entry['phase']}"
+        return None, None
+
+    def _record_feedback(self, record, prepared, result) -> None:
+        """Fold this execution's actuals into the feedback store and run
+        the drift→replan check — the loop-closing half of the Q-error
+        telemetry. Only reached on the telemetry-enabled path (the
+        disabled path stays allocation-free)."""
+        from .observability.feedback import (
+            profile_observations,
+            root_observation,
+        )
+
+        estimator = self._telemetry_estimator()
+        if result.profile is not None and result.dags:
+            observations = profile_observations(result.profile, estimator)
+        else:
+            est = prepared.est_rows
+            if est is not None and est < 0.0:
+                est = None  # estimation-failure sentinel
+            observations = [
+                root_observation(prepared.plan, est, record.rows)
+            ]
+        self.feedback.observe(record.fingerprint, record.sql, observations)
+        self._maybe_replan(record.fingerprint, prepared)
+
+    #: A template must drift this much (recent EWMA Q-error over baseline
+    #: mean) before its cached plan is discarded, and re-discards wait for
+    #: this many further observations — mirroring
+    #: ``WorkloadStats.drifting_templates`` so the replan loop and the
+    #: report flag the same templates.
+    REPLAN_DRIFT_RATIO = 2.0
+    REPLAN_INTERVAL = 8
+
+    def _maybe_replan(self, fingerprint: str, prepared) -> None:
+        """If the workload profiler says this template's estimates have
+        drifted, invalidate its cached plan and estimate so the next
+        execution re-plans against the (now feedback-calibrated)
+        estimator; emits a ``feedback.replan`` breadcrumb."""
+        template = self.telemetry.workload.get(fingerprint)
+        if template is None:
+            return
+        ratio = template.drift_ratio()
+        if ratio is None or ratio < self.REPLAN_DRIFT_RATIO:
+            return
+        last = self._replanned.get(fingerprint)
+        if last is not None and template.count - last < self.REPLAN_INTERVAL:
+            return
+        self._replanned[fingerprint] = template.count
+        prepared.est_rows = None
+        prepared.dag_templates.clear()
+        if self.plan_cache is not None:
+            self.plan_cache.discard(prepared.normalized)
+        self.telemetry.event(
+            "feedback.replan",
+            fingerprint=fingerprint,
+            drift_ratio=ratio,
+            sql=self.telemetry.truncate_sql(prepared.normalized),
+        )
 
     def _max_q_error(self, prepared, result) -> Optional[float]:
         """Per-query max Q-error, always on: node-level (same number as the
@@ -446,9 +549,14 @@ class Database:
             from .logical.cardinality import CardinalityEstimator
             from .stats import StatisticsCache
 
+            calibration = (
+                self.feedback.calibration() if self.feedback is not None else None
+            )
             self._estimator_cache = (
                 version,
-                CardinalityEstimator(StatisticsCache(self.catalog)),
+                CardinalityEstimator(
+                    StatisticsCache(self.catalog), calibration=calibration
+                ),
             )
         return self._estimator_cache[1]
 
@@ -480,7 +588,10 @@ class Database:
             )
             engine = LolepopEngine(self.catalog, run_config)
             result = engine.run(plan, query=query)
-            text = render_analyze(result, self.catalog, run_config)
+            text = render_analyze(
+                result, self.catalog, run_config,
+                estimator=self._telemetry_estimator(),
+            )
             trace = result.trace
             dags = result.dags
             profile = result.profile
@@ -505,12 +616,11 @@ class Database:
 
     def estimate(self, query: str) -> float:
         """Estimated output rows (sampled statistics + System-R-style
-        selectivity rules; see repro.logical.cardinality)."""
-        from .logical.cardinality import CardinalityEstimator
-        from .stats import StatisticsCache
-
-        estimator = CardinalityEstimator(StatisticsCache(self.catalog))
-        return estimator.rows(self.plan(query))
+        selectivity rules; see repro.logical.cardinality). When a feedback
+        store is attached, observed actuals for recognized plan shapes
+        override the model — the same calibrated estimator telemetry's
+        Q-error tracking uses."""
+        return self._telemetry_estimator().rows(self.plan(query))
 
     def explain_lolepop(self, query: str) -> str:
         """The LOLEPOP DAG of the query's top statistics region."""

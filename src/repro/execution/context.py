@@ -56,6 +56,8 @@ class EngineConfig:
         cancellation=None,
         query_id: Optional[str] = None,
         session_id: Optional[str] = None,
+        queue_wait_s: float = 0.0,
+        admission_reserve_s: float = 0.0,
         # --- static plan verifier ------------------------------------------
         verify_plans: Optional[str] = None,
         # --- cross-query materialization manager ---------------------------
@@ -112,6 +114,13 @@ class EngineConfig:
         #: :meth:`translation_fingerprint` — ids never change the plan.
         self.query_id = query_id
         self.session_id = session_id
+        #: Service-layer latency attribution, stamped by the query service
+        #: before execution: seconds spent in the admission queue and in
+        #: the admission controller's reserve step. Propagated onto the
+        #: execution trace (→ Chrome-trace ``service:*`` spans). Like the
+        #: ids above, never part of :meth:`translation_fingerprint`.
+        self.queue_wait_s = queue_wait_s
+        self.admission_reserve_s = admission_reserve_s
         #: Static plan verifier mode (see :data:`VERIFY_MODES`). ``None``
         #: resolves from ``REPRO_VERIFY_PLANS`` (default ``off``); the test
         #: suite and CI set ``on``. Deliberately *not* part of
@@ -168,6 +177,8 @@ class ExecutionContext:
         if self.trace is not None:
             self.trace.query_id = self.config.query_id
             self.trace.session_id = self.config.session_id
+            self.trace.queue_wait_s = self.config.queue_wait_s
+            self.trace.admission_reserve_s = self.config.admission_reserve_s
         if self.config.execution_mode == "parallel":
             self.scheduler = ParallelScheduler(
                 self.config.num_threads, self.trace, self.config.cancellation

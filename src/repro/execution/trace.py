@@ -51,6 +51,13 @@ class ExecutionTrace:
         #: concurrent clients stay attributable per query.
         self.query_id: Optional[str] = None
         self.session_id: Optional[str] = None
+        #: Service-layer attribution (seconds the query spent outside the
+        #: engine before execution started): admission-queue wait and the
+        #: admission controller's reservation bookkeeping. Stamped from
+        #: ``EngineConfig`` by the execution context; rendered as a separate
+        #: Chrome-trace lane so queueing is never misread as operator time.
+        self.queue_wait_s: float = 0.0
+        self.admission_reserve_s: float = 0.0
 
     def add(self, record: TraceRecord) -> None:
         self.records.append(record)

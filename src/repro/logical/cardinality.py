@@ -45,13 +45,28 @@ DEFAULT_LIKE_SELECTIVITY = 0.1
 
 
 class CardinalityEstimator:
-    """Estimates output rows and per-column distinct counts of plans."""
+    """Estimates output rows and per-column distinct counts of plans.
 
-    def __init__(self, statistics: StatisticsCache):
+    ``calibration`` is an optional feedback source (duck-typed:
+    ``rows_for(plan)`` and ``groups_for(plan, keys)`` returning a float or
+    ``None`` — see
+    :class:`repro.observability.feedback.CalibrationOverrides`). When it
+    recognizes a plan shape from observed executions its actual-row
+    average overrides the model estimate; otherwise estimation falls
+    through to the statistics-based rules unchanged. The indirection keeps
+    this module free of any observability import.
+    """
+
+    def __init__(self, statistics: StatisticsCache, calibration=None):
         self._statistics = statistics
+        self._calibration = calibration
 
     # ------------------------------------------------------------------
     def rows(self, plan: LogicalPlan) -> float:
+        if self._calibration is not None:
+            observed = self._calibration.rows_for(plan)
+            if observed is not None:
+                return max(1.0, float(observed))
         if isinstance(plan, Scan):
             return float(self._statistics.table_stats(plan.table_name).rows)
         if isinstance(plan, Filter):
@@ -86,6 +101,10 @@ class CardinalityEstimator:
 
     def group_count(self, plan: LogicalPlan, keys) -> float:
         """Estimated number of distinct key combinations."""
+        if self._calibration is not None:
+            observed = self._calibration.groups_for(plan, keys)
+            if observed is not None:
+                return max(1.0, float(observed))
         rows = self.rows(plan)
         if not keys:
             return 1.0

@@ -111,11 +111,40 @@ class Dag:
         self.nodes: List[Lolepop] = []
         self.sink: Optional[Lolepop] = None
         #: Rewrite log: which optimizer passes / translator reuse decisions
-        #: fired while building this DAG (e.g. ``"elide_redundant_sorts x1"``).
+        #: fired while building this DAG. Entries are
+        #: :class:`~repro.observability.provenance.RewriteEvent` records
+        #: (``str`` subclasses, so string consumers keep working) appended
+        #: via :meth:`record_rewrite` — never bare strings (lint rule R5).
         self.rewrites: List[str] = []
         #: The statistics-region logical plan this DAG implements, when
         #: known — EXPLAIN ANALYZE uses it for cardinality estimates.
         self.region_plan = None
+
+    def record_rewrite(
+        self,
+        text: str,
+        pass_name: Optional[str] = None,
+        detail: str = "",
+        nodes: Sequence[str] = (),
+        cost_before: Optional[float] = None,
+        cost_after: Optional[float] = None,
+    ):
+        """Append one structured
+        :class:`~repro.observability.provenance.RewriteEvent` to the
+        rewrite log and return it. The single sanctioned append path —
+        ``tools/lint_engine.py`` rule R5 flags direct string appends."""
+        from ..observability.provenance import RewriteEvent
+
+        event = RewriteEvent(
+            text,
+            pass_name=pass_name,
+            detail=detail,
+            nodes=nodes,
+            cost_before=cost_before,
+            cost_after=cost_after,
+        )
+        self.rewrites.append(event)
+        return event
 
     def add(self, op: Lolepop) -> Lolepop:
         if op not in self.nodes:

@@ -17,7 +17,7 @@ passes here operate on the built DAG:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..execution.context import EngineConfig
 from .base import Dag, Lolepop
@@ -27,26 +27,82 @@ from .sort_op import SortOp
 from .window_op import WindowOp
 
 
-def optimize(dag: Dag, config: EngineConfig) -> None:
-    """Run all enabled passes in place; record fired passes in
-    ``dag.rewrites`` so EXPLAIN ANALYZE and query profiles can show which
-    step-E decisions actually applied.
+def optimize(dag: Dag, config: EngineConfig, estimator=None) -> None:
+    """Run all enabled passes in place; record each fired pass in
+    ``dag.rewrites`` as a structured
+    :class:`~repro.observability.provenance.RewriteEvent` — pass name, the
+    names of the nodes it removed, and the estimated whole-DAG cost
+    before/after (:func:`repro.costmodel.dag_cost`) — so EXPLAIN ANALYZE
+    and ``tools/plan_diff.py`` can attribute plan-cost movement to the
+    step-E decision that caused it.
+
+    ``estimator`` is an optional
+    :class:`~repro.logical.cardinality.CardinalityEstimator`; with one the
+    cost is priced from per-node cardinality estimates, without one every
+    node is priced at the neutral default row count (deltas remain
+    meaningful: a removed SORT still subtracts its term).
 
     Under ``verify_plans="strict"`` the DAG is re-verified after every
     pass that fired, so a plan-breaking rewrite is attributed to the pass
     (via the entry it just appended to ``dag.rewrites``) instead of
     surfacing as a confusing post-translation failure.
     """
+    cost = _estimated_cost(dag, estimator)
     if config.elide_sorts:
-        count = elide_redundant_sorts(dag)
-        if count:
-            dag.rewrites.append(f"elide_redundant_sorts x{count}")
+        removed = elide_redundant_sorts(dag)
+        if removed:
+            after = _estimated_cost(dag, estimator)
+            dag.record_rewrite(
+                f"elide_redundant_sorts x{len(removed)}",
+                pass_name="elide_redundant_sorts",
+                detail=f"x{len(removed)}",
+                nodes=removed,
+                cost_before=cost,
+                cost_after=after,
+            )
+            cost = after
             _verify_after_pass(dag, config)
     if config.remove_redundant_combines:
-        count = remove_redundant_combines(dag)
-        if count:
-            dag.rewrites.append(f"remove_redundant_combines x{count}")
+        removed = remove_redundant_combines(dag)
+        if removed:
+            after = _estimated_cost(dag, estimator)
+            dag.record_rewrite(
+                f"remove_redundant_combines x{len(removed)}",
+                pass_name="remove_redundant_combines",
+                detail=f"x{len(removed)}",
+                nodes=removed,
+                cost_before=cost,
+                cost_after=after,
+            )
+            cost = after
             _verify_after_pass(dag, config)
+
+
+def _estimated_cost(dag: Dag, estimator) -> float:
+    """Whole-DAG cost, using cardinality estimates when an estimator is
+    available (falling back silently: costing must never fail a query)."""
+    from ..costmodel import dag_cost
+
+    estimates = None
+    if estimator is not None:
+        try:
+            from ..observability.analyze import estimate_dag_rows
+
+            estimates = estimate_dag_rows(dag, estimator)
+        except Exception:  # noqa: BLE001 — estimation is best-effort
+            estimates = None
+    return dag_cost(dag, estimates)
+
+
+def _node_label(dag: Dag, node: Lolepop) -> str:
+    """``"#3 SORT [k ASC]"``-style name for rewrite-event provenance."""
+    try:
+        index = dag.topological_order().index(node)
+        prefix = f"#{index} "
+    except Exception:  # noqa: BLE001 — node mid-splice / cyclic dag
+        prefix = ""
+    describe = node.describe()
+    return f"{prefix}{node.name()}" + (f" [{describe}]" if describe else "")
 
 
 def _verify_after_pass(dag: Dag, config: EngineConfig) -> None:
@@ -57,19 +113,20 @@ def _verify_after_pass(dag: Dag, config: EngineConfig) -> None:
     verify_dag(dag, context=f"optimizer pass {dag.rewrites[-1]}")
 
 
-def remove_redundant_combines(dag: Dag) -> int:
+def remove_redundant_combines(dag: Dag) -> List[str]:
     """Splice out join-mode COMBINE operators with exactly one input;
-    returns the number of splices."""
-    count = 0
+    returns the labels of the spliced nodes (rewrite-event provenance)."""
+    removed: List[str] = []
     for node in list(dag.nodes):
         if (
             isinstance(node, CombineOp)
             and node.mode == "join"
             and len(node.inputs) == 1
         ):
+            label = _node_label(dag, node)
             dag.replace(node, node.inputs[0])
-            count += 1
-    return count
+            removed.append(label)
+    return removed
 
 
 def _buffer_root(node: Lolepop, memo: Dict[int, Optional[Lolepop]]) -> Optional[Lolepop]:
@@ -87,13 +144,13 @@ def _buffer_root(node: Lolepop, memo: Dict[int, Optional[Lolepop]]) -> Optional[
     return root
 
 
-def elide_redundant_sorts(dag: Dag) -> int:
+def elide_redundant_sorts(dag: Dag) -> List[str]:
     """Remove SORT operators whose requirement is a prefix of the buffer's
     ordering at that point of the (topological) execution order; returns
-    the number of elided sorts."""
+    the labels of the elided sorts (rewrite-event provenance)."""
     memo: Dict[int, Optional[Lolepop]] = {}
     ordering_state: Dict[int, Tuple] = {}
-    count = 0
+    removed: List[str] = []
     for node in dag.topological_order():
         if not isinstance(node, SortOp):
             continue
@@ -106,12 +163,13 @@ def elide_redundant_sorts(dag: Dag) -> int:
             tuple(current[: len(required)]) == required
         )
         if satisfied:
+            label = _node_label(dag, node)
             # Consumers inherit the sort's anti-dependencies.
             for other in dag.nodes:
                 if node in other.inputs:
                     other.after.extend(node.after)
             dag.replace(node, node.inputs[0])
-            count += 1
+            removed.append(label)
         else:
             ordering_state[id(root)] = required
-    return count
+    return removed

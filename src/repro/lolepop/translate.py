@@ -80,7 +80,7 @@ def translate_statistics(
     translator = _Translator(source_executor, config, estimator)
     dag = translator.translate(plan)
     dag.region_plan = plan
-    optimizer.optimize(dag, config)
+    optimizer.optimize(dag, config, estimator)
     if config.verify_plans != "off":
         from .verify import verify_dag
 
@@ -159,8 +159,11 @@ class _Translator:
             if ordering is not None:
                 from .reuse_op import CachedBufferOp
 
-                self.dag.rewrites.append(
-                    f"reuse: cached buffer source [{spec.describe()}]"
+                self.dag.record_rewrite(
+                    f"reuse: cached buffer source [{spec.describe()}]",
+                    pass_name="reuse",
+                    detail=spec.describe(),
+                    nodes=("CACHEDBUF",),
                 )
                 return self.dag.add(
                     CachedBufferOp(
@@ -235,7 +238,12 @@ class _Translator:
         if any(name not in mapping for name, _ in keys):
             return None
         window_sink = self._translate_window_chain(node)
-        self.dag.rewrites.append("buffer-reuse: order-by re-sorts window buffer")
+        self.dag.record_rewrite(
+            "buffer-reuse: order-by re-sorts window buffer",
+            pass_name="buffer-reuse",
+            detail="order-by re-sorts window buffer",
+            nodes=("SORT", "WINDOW"),
+        )
         buffer_keys = [(mapping[name], desc) for name, desc in keys]
         limit_hint = (limit + offset) if limit is not None else None
         resort = self.dag.add(SortOp(window_sink, buffer_keys))
@@ -302,8 +310,11 @@ class _Translator:
                 )
                 current_partition_keys = part_keys
             else:
-                self.dag.rewrites.append(
-                    "buffer-reuse: window ordering group shares buffer"
+                self.dag.record_rewrite(
+                    "buffer-reuse: window ordering group shares buffer",
+                    pass_name="buffer-reuse",
+                    detail="window ordering group shares buffer",
+                    nodes=("WINDOW",),
                 )
             sort = self.dag.add(SortOp(current, sort_keys))
             if last_window is not None:
@@ -389,8 +400,11 @@ class _Translator:
         from .reuse_op import ViewSourceOp
 
         source = self.dag.add(ViewSourceOp(plan))
-        self.dag.rewrites.append(
-            "reuse: aggregate served from materialized view"
+        self.dag.record_rewrite(
+            "reuse: aggregate served from materialized view",
+            pass_name="reuse",
+            detail="aggregate served from materialized view",
+            nodes=("VIEWSOURCE",),
         )
         return self.dag.add(
             ScanOp(
@@ -526,8 +540,13 @@ class _Translator:
             ):
                 still_hash.append(call)
                 continue
-            self.dag.rewrites.append(
-                f"cost_based_distinct: sort strategy for {call.name}"
+            self.dag.record_rewrite(
+                f"cost_based_distinct: sort strategy for {call.name}",
+                pass_name="cost_based_distinct",
+                detail=call.name,
+                nodes=("SORT", "ORDAGG"),
+                cost_before=decision.hash_cost,
+                cost_after=decision.sort_cost,
             )
             sort_keys = [(name, False) for name in group_names] + [(arg, False)]
             sort = self.dag.add(SortOp(chain_buffer, sort_keys))
@@ -575,8 +594,11 @@ class _Translator:
         sort_specs: List[Tuple[Optional[Tuple[str, bool]], List[AggregateCall]]]
         sort_specs = list(orderings) if orderings else [(None, [])]
         if len(sort_specs) > 1:
-            self.dag.rewrites.append(
-                f"buffer-reuse: {len(sort_specs)} ordered-set sorts share buffer"
+            self.dag.record_rewrite(
+                f"buffer-reuse: {len(sort_specs)} ordered-set sorts share buffer",
+                pass_name="buffer-reuse",
+                detail=f"{len(sort_specs)} ordered-set sorts share buffer",
+                nodes=("SORT",) * len(sort_specs),
             )
         units: List[Lolepop] = []
         for index, (order_key, calls_here) in enumerate(sort_specs):
@@ -720,8 +742,11 @@ class _Translator:
                     )
                     previous = None
                 else:
-                    self.dag.rewrites.append(
-                        "buffer-reuse: grouping set re-sorts shared buffer"
+                    self.dag.record_rewrite(
+                        "buffer-reuse: grouping set re-sorts shared buffer",
+                        pass_name="buffer-reuse",
+                        detail="grouping set re-sorts shared buffer",
+                        nodes=("SORT",),
                     )
                 buffer_op = shared_buffer
                 chain_units, previous = self._ordered_chain(
@@ -842,8 +867,11 @@ class _AggInput:
     def materialize(self, group_names: List[str]) -> Lolepop:
         """A buffer usable for grouping by ``group_names``."""
         if self.buffer_usable_for(group_names):
-            self._translator.dag.rewrites.append(
-                "buffer-reuse: aggregate over window buffer"
+            self._translator.dag.record_rewrite(
+                "buffer-reuse: aggregate over window buffer",
+                pass_name="buffer-reuse",
+                detail="aggregate over window buffer",
+                nodes=("WINDOW",),
             )
             return self.buffer_op
         keys = tuple(group_names)

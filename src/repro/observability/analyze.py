@@ -119,6 +119,62 @@ def profile_max_q_error(profile, estimator) -> Optional[float]:
     return worst
 
 
+def morsel_skew(trace) -> List[dict]:
+    """Per-(operator, phase) morsel-skew metrics derived from an
+    :class:`~repro.execution.trace.ExecutionTrace`.
+
+    For each parallel phase the skew ratio ``max/mean`` of per-morsel
+    durations says how badly one straggling work item stretched the
+    barrier: 1.0 is perfectly balanced, large values mean the phase's
+    makespan was set by a single morsel. Each entry carries the straggler's
+    thread id so the slow-query log can attribute the stall. Sorted worst
+    skew first. Returns ``[]`` for ``None`` / empty traces.
+    """
+    if trace is None or not getattr(trace, "records", None):
+        return []
+    groups: Dict[tuple, List] = {}
+    for record in trace.records:
+        groups.setdefault((record.operator, record.phase), []).append(record)
+    out: List[dict] = []
+    for (operator, phase), records in groups.items():
+        durations = [r.duration for r in records]
+        worst = max(records, key=lambda r: r.duration)
+        max_s = worst.duration
+        mean_s = sum(durations) / len(durations)
+        out.append(
+            {
+                "operator": operator,
+                "phase": phase,
+                "items": len(records),
+                "max_s": max_s,
+                "mean_s": mean_s,
+                "skew": max_s / mean_s if mean_s > 0 else 1.0,
+                "straggler_thread": worst.thread,
+            }
+        )
+    out.sort(key=lambda entry: (-entry["skew"], entry["operator"]))
+    return out
+
+
+def render_morsel_skew(trace, limit: int = 3, min_skew: float = 1.5) -> List[str]:
+    """Human-readable lines for the worst-skewed parallel phases (only
+    phases with more than one morsel and skew >= ``min_skew`` — a serial
+    phase cannot be skewed)."""
+    lines: List[str] = []
+    for entry in morsel_skew(trace):
+        if entry["items"] < 2 or entry["skew"] < min_skew:
+            continue
+        lines.append(
+            f"{entry['operator']}/{entry['phase']}: skew {entry['skew']:.2f} "
+            f"(max {entry['max_s'] * 1000:.2f}ms / mean "
+            f"{entry['mean_s'] * 1000:.2f}ms over {entry['items']} morsels, "
+            f"straggler T{entry['straggler_thread']})"
+        )
+        if len(lines) >= limit:
+            break
+    return lines
+
+
 def _format_bytes(num: float) -> str:
     for unit in ("B", "KB", "MB", "GB"):
         if abs(num) < 1024.0 or unit == "GB":
@@ -127,12 +183,16 @@ def _format_bytes(num: float) -> str:
     return f"{num:.1f}GB"
 
 
-def render_analyze(result, catalog, config) -> str:
+def render_analyze(result, catalog, config, estimator=None) -> str:
     """Render ``EXPLAIN ANALYZE`` output for an executed query.
 
     ``result`` is a :class:`~repro.lolepop.engine.QueryResult` produced with
     ``collect_metrics=True`` (so every DAG node carries
-    :class:`~repro.observability.metrics.OperatorStats`).
+    :class:`~repro.observability.metrics.OperatorStats`). ``estimator``
+    lets the caller supply a calibrated
+    :class:`~repro.logical.cardinality.CardinalityEstimator` (one carrying
+    feedback-store overrides); without one a fresh uncalibrated estimator
+    is built from the catalog.
     """
     from ..logical.cardinality import CardinalityEstimator
     from ..stats import StatisticsCache
@@ -140,7 +200,8 @@ def render_analyze(result, catalog, config) -> str:
     profile = result.profile
     if profile is None:
         raise ValueError("EXPLAIN ANALYZE requires a collected profile")
-    estimator = CardinalityEstimator(StatisticsCache(catalog))
+    if estimator is None:
+        estimator = CardinalityEstimator(StatisticsCache(catalog))
     kind = "measured" if config.execution_mode == "parallel" else "simulated"
     lines: List[str] = [
         f"EXPLAIN ANALYZE (lolepop, {config.num_threads} threads, "
@@ -219,7 +280,14 @@ def render_analyze(result, catalog, config) -> str:
         f"spill: {_format_bytes(spill_w)} written / {_format_bytes(spill_r)} read"
     )
     if profile.rewrites:
-        lines.append("rewrites: " + "; ".join(profile.rewrites))
+        lines.append("rewrites:")
+        for entry in profile.rewrites:
+            cost = entry.render_cost() if hasattr(entry, "render_cost") else ""
+            lines.append(f"  {entry}" + (f"  {cost}" if cost else ""))
+    skew_lines = render_morsel_skew(result.trace)
+    if skew_lines:
+        lines.append("morsel skew (top phases):")
+        lines.extend(f"  {line}" for line in skew_lines)
     for name in sorted(profile.counters):
         if not name.startswith("spill."):
             lines.append(f"counter {name}: {profile.counters[name]:g}")

@@ -17,6 +17,10 @@ from typing import List, Optional
 WORKER_PID = 0
 #: pid of region (pipeline barrier) span events.
 REGION_PID = 1
+#: pid of service-layer spans (admission-queue wait, admission reserve)
+#: that happened *before* the engine started executing — a separate track
+#: so queueing is never misread as operator time.
+SERVICE_PID = 2
 
 _REQUIRED_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
 
@@ -45,7 +49,17 @@ def chrome_trace_events(trace) -> List[dict]:
                 "args": {"phase": record.phase, **attribution},
             }
         )
+    skew_by_phase = {}
+    for entry in _morsel_skew(trace):
+        skew_by_phase[(entry["operator"], entry["phase"])] = entry
     for span in getattr(trace, "regions", ()):
+        args = {"phase": span.phase, "items": span.items, **attribution}
+        skew = skew_by_phase.get((span.operator, span.phase))
+        if skew is not None and skew["items"] >= 2:
+            args["morsel_max_ms"] = skew["max_s"] * 1e3
+            args["morsel_mean_ms"] = skew["mean_s"] * 1e3
+            args["morsel_skew"] = skew["skew"]
+            args["straggler_thread"] = skew["straggler_thread"]
         events.append(
             {
                 "name": f"region:{span.operator}",
@@ -54,10 +68,38 @@ def chrome_trace_events(trace) -> List[dict]:
                 "dur": (span.end - span.start) * 1e6,
                 "pid": REGION_PID,
                 "tid": 0,
-                "args": {"phase": span.phase, "items": span.items, **attribution},
+                "args": args,
             }
         )
+    # Service-layer waits precede execution: render them ending at t=0 so
+    # the engine timeline (which starts at 0) reads as "after the queue".
+    waits = (
+        ("service:queue-wait", getattr(trace, "queue_wait_s", 0.0)),
+        ("service:admission-reserve", getattr(trace, "admission_reserve_s", 0.0)),
+    )
+    offset = sum(duration for _name, duration in waits)
+    for name, duration in waits:
+        if duration <= 0.0:
+            continue
+        events.append(
+            {
+                "name": name,
+                "ph": "X",
+                "ts": -offset * 1e6,
+                "dur": duration * 1e6,
+                "pid": SERVICE_PID,
+                "tid": 0,
+                "args": dict(attribution),
+            }
+        )
+        offset -= duration
     return events
+
+
+def _morsel_skew(trace):
+    from .analyze import morsel_skew
+
+    return morsel_skew(trace)
 
 
 def validate_trace_events(events) -> None:

@@ -45,6 +45,9 @@ EVENT_KINDS = (
     "reuse.miss",
     "reuse.evict",
     "reuse.maintain",
+    "feedback.load_error",
+    "feedback.evict",
+    "feedback.replan",
 )
 
 

@@ -1,0 +1,487 @@
+"""Persistent cardinality-feedback store: the closed Q-error loop.
+
+Every executed query contributes *actuals* — observed output rows per plan
+operator — keyed by ``(plan fingerprint, operator position)``. The store
+persists them as one small schema-validated JSON file per fingerprint
+under a feedback directory (``REPRO_FEEDBACK_DIR`` or the ``Database``'s
+``feedback_dir``), survives restarts, and feeds two consumers:
+
+- :class:`CalibrationOverrides` — a live view consulted by
+  :class:`~repro.logical.cardinality.CardinalityEstimator`: when an
+  operator's *plan signature* (a stable recursive rendering of the logical
+  subplan, literals included) has enough observed executions, the smoothed
+  actual row count overrides the statistics-model estimate.
+- the drift→replan loop in :class:`repro.api.Database`: when the workload
+  profiler flags a template's Q-error as drifting, the matching plan-cache
+  entry is discarded so the next execution re-plans — now against the
+  calibrated estimator — closing the loop the
+  :class:`~repro.observability.workload.WorkloadStats` drift detector
+  only *reported* before.
+
+Durability model: actuals are advisory, so writes are throttled (first
+observation per fingerprint flushes immediately, then every
+``flush_interval``-th) and atomic (temp file + ``os.replace``). A corrupt
+or partial file is tolerated on load — skipped with a
+``feedback.load_error`` flight-recorder event — and the on-disk footprint
+is bounded by ``max_files`` with least-recently-updated eviction
+(``feedback.evict`` events).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "FeedbackStore",
+    "CalibrationOverrides",
+    "plan_signature",
+    "group_signature",
+    "profile_observations",
+]
+
+SCHEMA_VERSION = 1
+
+#: Exponential smoothing factor for actual row counts (matches the
+#: workload profiler's recency bias).
+ACTUAL_ALPHA = 0.3
+
+_FILE_PREFIX = "fb_"
+_FILE_SUFFIX = ".json"
+
+#: Per-fingerprint operator cap: a file stays a few KB no matter how many
+#: regions a query compiles to.
+MAX_OPERATORS_PER_FINGERPRINT = 64
+
+
+def plan_signature(plan) -> str:
+    """Stable recursive signature of a logical plan: each node's
+    ``label()`` (which renders predicates, keys, and literal values) over
+    the child signatures. Two queries with the same plan shape *and the
+    same constants* share a signature — deliberately, since selectivity
+    feedback is only transferable at that granularity."""
+    children = getattr(plan, "children", ())
+    label = plan.label()
+    if not children:
+        return label
+    inner = ",".join(plan_signature(child) for child in children)
+    return f"{label}({inner})"
+
+
+def group_signature(plan, keys: Iterable[str]) -> str:
+    """Signature of a group-count estimate: the input plan plus the key
+    set (order-insensitive — ``GROUP BY a, b`` and ``GROUP BY b, a``
+    produce the same count)."""
+    return f"group[{','.join(sorted(keys))}]({plan_signature(plan)})"
+
+
+def _operator_signature(node, context) -> Optional[str]:
+    """The calibration signature of one executed LOLEPOP, when its output
+    cardinality maps onto an estimator question (SOURCE → plan rows,
+    HASHAGG/ORDAGG → group count); ``None`` for pure buffer movers."""
+    from ..lolepop.base import SourceOp
+    from ..lolepop.hashagg_op import HashAggOp
+    from ..lolepop.ordagg_op import OrdAggOp
+
+    if isinstance(node, SourceOp) and getattr(node, "plan", None) is not None:
+        return plan_signature(node.plan)
+    if isinstance(node, (HashAggOp, OrdAggOp)) and context is not None:
+        return group_signature(context, node.key_names)
+    return None
+
+
+def profile_observations(profile, estimator) -> List[dict]:
+    """Flatten one executed :class:`~repro.observability.metrics.QueryProfile`
+    into feedback observations: one dict per DAG node carrying stats, with
+    the operator's position (counted across all region DAGs), its estimate
+    under ``estimator``, its actuals, and the resource-ledger fields."""
+    from .analyze import _region_input_plan, estimate_dag_rows
+
+    observations: List[dict] = []
+    position = 0
+    for dag in profile.dags:
+        estimates = estimate_dag_rows(dag, estimator)
+        context = _region_input_plan(getattr(dag, "region_plan", None))
+        for node in dag.topological_order():
+            stats = getattr(node, "stats", None)
+            position += 1
+            if stats is None:
+                continue
+            estimate = estimates.get(id(node))
+            observations.append(
+                {
+                    "position": position - 1,
+                    "name": node.name(),
+                    "describe": node.describe(),
+                    "signature": _operator_signature(node, context),
+                    "est_rows": None if estimate is None else float(estimate),
+                    "actual_rows": float(stats.rows_out),
+                    "bytes_materialized": stats.bytes_materialized,
+                    "spill_bytes_written": stats.spill_bytes_written,
+                    "peak_partition_bytes": stats.peak_partition_bytes,
+                }
+            )
+    return observations
+
+
+def root_observation(plan, est_rows: Optional[float], actual_rows: int) -> dict:
+    """The profile-free fallback observation: the query's root cardinality
+    (estimate at prepare time vs. rows actually returned). Recorded on
+    every telemetry-enabled execution, so the feedback store fills even
+    when per-operator metrics collection is off (the serving default)."""
+    return {
+        "position": 0,
+        "name": "ROOT",
+        "describe": "",
+        "signature": plan_signature(plan),
+        "est_rows": None if est_rows is None else float(est_rows),
+        "actual_rows": float(actual_rows),
+        "bytes_materialized": 0,
+        "spill_bytes_written": 0,
+        "peak_partition_bytes": 0,
+    }
+
+
+def _q_error(est: Optional[float], actual: float) -> Optional[float]:
+    if est is None:
+        return None
+    est = max(1.0, float(est))
+    actual = max(1.0, float(actual))
+    return max(est / actual, actual / est)
+
+
+class _OperatorFeedback:
+    """Smoothed actuals for one ``(fingerprint, position)`` slot."""
+
+    __slots__ = (
+        "name", "describe", "signature", "est_rows", "actual_rows",
+        "observations", "bytes_materialized", "spill_bytes_written",
+        "peak_partition_bytes",
+    )
+
+    def __init__(self, observation: dict):
+        self.name = str(observation.get("name", "?"))
+        self.describe = str(observation.get("describe", ""))
+        signature = observation.get("signature")
+        self.signature = None if signature is None else str(signature)
+        est = observation.get("est_rows")
+        self.est_rows = None if est is None else float(est)
+        self.actual_rows = float(observation.get("actual_rows", 0.0))
+        self.observations = int(observation.get("observations", 1))
+        self.bytes_materialized = int(observation.get("bytes_materialized", 0))
+        self.spill_bytes_written = int(observation.get("spill_bytes_written", 0))
+        self.peak_partition_bytes = int(observation.get("peak_partition_bytes", 0))
+
+    def update(self, observation: dict) -> None:
+        self.name = str(observation.get("name", self.name))
+        self.describe = str(observation.get("describe", self.describe))
+        signature = observation.get("signature")
+        if signature is not None:
+            self.signature = str(signature)
+        est = observation.get("est_rows")
+        if est is not None:
+            self.est_rows = float(est)
+        actual = float(observation.get("actual_rows", self.actual_rows))
+        self.actual_rows = (
+            (1.0 - ACTUAL_ALPHA) * self.actual_rows + ACTUAL_ALPHA * actual
+        )
+        self.observations += 1
+        self.bytes_materialized = max(
+            self.bytes_materialized, int(observation.get("bytes_materialized", 0))
+        )
+        self.spill_bytes_written = max(
+            self.spill_bytes_written,
+            int(observation.get("spill_bytes_written", 0)),
+        )
+        self.peak_partition_bytes = max(
+            self.peak_partition_bytes,
+            int(observation.get("peak_partition_bytes", 0)),
+        )
+
+    @property
+    def q_error(self) -> Optional[float]:
+        return _q_error(self.est_rows, self.actual_rows)
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "name": self.name,
+            "describe": self.describe,
+            "signature": self.signature,
+            "est_rows": self.est_rows,
+            "actual_rows": self.actual_rows,
+            "observations": self.observations,
+            "bytes_materialized": self.bytes_materialized,
+            "spill_bytes_written": self.spill_bytes_written,
+            "peak_partition_bytes": self.peak_partition_bytes,
+        }
+        q = self.q_error
+        if q is not None:
+            out["q_error"] = q
+        return out
+
+
+class _FingerprintFeedback:
+    __slots__ = ("fingerprint", "sql", "updated", "operators")
+
+    def __init__(self, fingerprint: str, sql: str):
+        self.fingerprint = fingerprint
+        self.sql = sql
+        self.updated = 0.0
+        self.operators: Dict[int, _OperatorFeedback] = {}
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "sql": self.sql,
+            "updated": self.updated,
+            "operators": {
+                str(position): feedback.to_dict()
+                for position, feedback in sorted(self.operators.items())
+            },
+        }
+
+
+def _validate_document(doc: object) -> _FingerprintFeedback:
+    """Parse one on-disk feedback document, raising ``ValueError`` on any
+    schema violation (the caller turns that into a tolerated skip)."""
+    if not isinstance(doc, dict):
+        raise ValueError("feedback document is not an object")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported feedback schema_version {doc.get('schema_version')!r}"
+        )
+    fingerprint = doc.get("fingerprint")
+    if not isinstance(fingerprint, str) or not fingerprint:
+        raise ValueError("feedback document missing fingerprint")
+    operators = doc.get("operators")
+    if not isinstance(operators, dict):
+        raise ValueError("feedback document missing operators object")
+    entry = _FingerprintFeedback(fingerprint, str(doc.get("sql", "")))
+    entry.updated = float(doc.get("updated", 0.0))
+    for key, payload in operators.items():
+        position = int(key)
+        if not isinstance(payload, dict):
+            raise ValueError(f"operator {key} payload is not an object")
+        if "actual_rows" not in payload:
+            raise ValueError(f"operator {key} missing actual_rows")
+        float(payload["actual_rows"])  # must be numeric
+        entry.operators[position] = _OperatorFeedback(payload)
+    return entry
+
+
+class FeedbackStore:
+    """Persistent per-``(plan fingerprint, operator position)`` actuals.
+
+    Thread-safe; all mutation happens under one lock (queries complete
+    concurrently under the service layer). Loading never raises: a corrupt
+    or partial file is skipped with a ``feedback.load_error`` event.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        max_files: int = 256,
+        flush_interval: int = 8,
+        telemetry=None,
+    ):
+        self.directory = directory
+        self.max_files = max(1, int(max_files))
+        self.flush_interval = max(1, int(flush_interval))
+        self._telemetry = telemetry
+        self._lock = threading.Lock()
+        self._entries: Dict[str, _FingerprintFeedback] = {}
+        self._pending: Dict[str, int] = {}
+        #: signature -> the most-observed feedback slot carrying it, so a
+        #: calibration lookup is one dict probe instead of a store scan.
+        self._signature_index: Dict[str, _OperatorFeedback] = {}
+        os.makedirs(directory, exist_ok=True)
+        self._load()
+
+    # -- events ---------------------------------------------------------
+    def _event(self, kind: str, **fields) -> None:
+        if self._telemetry is not None:
+            self._telemetry.recorder.record(kind, **fields)
+
+    # -- persistence ----------------------------------------------------
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(
+            self.directory, f"{_FILE_PREFIX}{fingerprint}{_FILE_SUFFIX}"
+        )
+
+    def _load(self) -> None:
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return
+        for name in names:
+            if not (name.startswith(_FILE_PREFIX) and name.endswith(_FILE_SUFFIX)):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = _validate_document(json.load(handle))
+            except (OSError, ValueError, TypeError) as exc:
+                self._event("feedback.load_error", file=name, error=str(exc))
+                continue
+            with self._lock:
+                self._entries[entry.fingerprint] = entry
+                for feedback in entry.operators.values():
+                    self._index_locked(feedback)
+
+    def _index_locked(self, feedback: _OperatorFeedback) -> None:
+        signature = feedback.signature
+        if signature is None:
+            return
+        existing = self._signature_index.get(signature)
+        if existing is None or feedback.observations >= existing.observations:
+            self._signature_index[signature] = feedback
+
+    def _reindex_locked(self) -> None:
+        self._signature_index.clear()
+        for entry in self._entries.values():
+            for feedback in entry.operators.values():
+                self._index_locked(feedback)
+
+    def _flush_locked(self, fingerprint: str) -> None:
+        entry = self._entries[fingerprint]
+        path = self._path(fingerprint)
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(entry.to_dict(), handle, indent=1)
+            os.replace(tmp, path)
+        except OSError:
+            # Advisory data: a failed flush must never fail the query.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def _evict_locked(self) -> None:
+        evicted = False
+        while len(self._entries) > self.max_files:
+            victim = min(self._entries.values(), key=lambda e: e.updated)
+            del self._entries[victim.fingerprint]
+            self._pending.pop(victim.fingerprint, None)
+            try:
+                os.unlink(self._path(victim.fingerprint))
+            except OSError:
+                pass
+            self._event("feedback.evict", fingerprint=victim.fingerprint)
+            evicted = True
+        if evicted:
+            self._reindex_locked()
+
+    # -- recording ------------------------------------------------------
+    def observe(self, fingerprint: str, sql: str, observations: List[dict]) -> None:
+        """Fold one execution's observations into the store and flush the
+        fingerprint's file per the throttle policy."""
+        if not observations:
+            return
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                entry = _FingerprintFeedback(fingerprint, sql)
+                self._entries[fingerprint] = entry
+            entry.updated = time.time()
+            for observation in observations:
+                position = int(observation.get("position", 0))
+                if position >= MAX_OPERATORS_PER_FINGERPRINT:
+                    continue
+                existing = entry.operators.get(position)
+                if existing is None:
+                    existing = _OperatorFeedback(observation)
+                    entry.operators[position] = existing
+                else:
+                    existing.update(observation)
+                self._index_locked(existing)
+            count = self._pending.get(fingerprint, 0)
+            self._pending[fingerprint] = count + 1
+            self._evict_locked()
+            if count % self.flush_interval == 0:
+                self._flush_locked(fingerprint)
+
+    def flush(self) -> None:
+        """Write every in-memory entry to disk (shutdown / test hook)."""
+        with self._lock:
+            for fingerprint in list(self._entries):
+                self._flush_locked(fingerprint)
+
+    # -- introspection --------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def fingerprints(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            return None if entry is None else entry.to_dict()
+
+    def summary(self) -> dict:
+        with self._lock:
+            operators = sum(len(e.operators) for e in self._entries.values())
+            worst: Optional[float] = None
+            for entry in self._entries.values():
+                for feedback in entry.operators.values():
+                    q = feedback.q_error
+                    if q is not None and (worst is None or q > worst):
+                        worst = q
+            return {
+                "directory": self.directory,
+                "fingerprints": len(self._entries),
+                "operators": operators,
+                "max_q_error": worst,
+            }
+
+    # -- calibration ----------------------------------------------------
+    def calibration(self, min_observations: int = 1) -> "CalibrationOverrides":
+        """A live estimator-override view over this store (later
+        observations are visible without rebuilding)."""
+        return CalibrationOverrides(self, min_observations=min_observations)
+
+    def _lookup_signature(
+        self, signature: str, min_observations: int
+    ) -> Optional[float]:
+        with self._lock:
+            feedback = self._signature_index.get(signature)
+            if feedback is None or feedback.observations < min_observations:
+                return None
+            return feedback.actual_rows
+
+
+class CalibrationOverrides:
+    """Duck-typed feedback source for
+    :class:`~repro.logical.cardinality.CardinalityEstimator`: maps plan /
+    group signatures to smoothed observed actuals. Lives on top of the
+    store, so estimates sharpen as executions accumulate."""
+
+    def __init__(self, store: FeedbackStore, min_observations: int = 1):
+        self._store = store
+        self.min_observations = max(1, int(min_observations))
+
+    def rows_for(self, plan) -> Optional[float]:
+        if plan is None:
+            return None
+        try:
+            signature = plan_signature(plan)
+        except Exception:  # noqa: BLE001 — foreign plan objects in tests
+            return None
+        return self._store._lookup_signature(signature, self.min_observations)
+
+    def groups_for(self, plan, keys) -> Optional[float]:
+        if plan is None:
+            return None
+        try:
+            signature = group_signature(plan, keys)
+        except Exception:  # noqa: BLE001
+            return None
+        return self._store._lookup_signature(signature, self.min_observations)

@@ -116,29 +116,35 @@ class Histogram:
         return self.sum / self.total if self.total else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile: the **upper bound** of the bucket holding
-        the q-th observation.
+        """Approximate quantile with linear interpolation inside the
+        bucket holding the q-th observation (Prometheus
+        ``histogram_quantile`` style).
 
-        This is deliberately conservative (it over-reports): the true
-        quantile lies somewhere inside the bucket, so the returned value is
-        a guaranteed upper bound whose error is the bucket width. Exact
-        percentiles require raw samples, which a fixed-bucket histogram
-        does not keep — ``benchmarks/bench_server_throughput.py`` computes
-        exact ``p50/p95/p99`` from its own raw latency list, so its numbers
-        can legitimately sit *below* the histogram's. Report histogram
-        quantiles as ``p95 <= value`` (see the ``quantiles`` block in
-        :meth:`to_dict`), never as exact.
+        The previous implementation returned the bucket's **upper bound**,
+        which biased every reported percentile high by up to a full bucket
+        width — with log-spaced bounds, nearly an order of magnitude.
+        Interpolating by the observation's rank within the bucket assumes a
+        uniform in-bucket distribution; the residual error is bounded by
+        the bucket width but is unbiased, so histogram percentiles now
+        track the exact raw-sample ``p50/p95/p99`` that
+        ``benchmarks/bench_server_throughput.py`` computes instead of
+        sitting systematically above them. Observations in the overflow
+        bucket still report the largest bound (no upper edge to
+        interpolate toward); the first bucket interpolates from zero.
         """
         if self.total == 0:
             return 0.0
         target = q * self.total
         seen = 0
         for index, count in enumerate(self.counts):
+            if seen + count >= target and count > 0:
+                if index >= len(self.bounds):
+                    return self.bounds[-1]
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index]
+                position = (target - seen) / count
+                return lower + position * (upper - lower)
             seen += count
-            if seen >= target:
-                if index < len(self.bounds):
-                    return self.bounds[index]
-                return self.bounds[-1]
         return self.bounds[-1]
 
     def to_dict(self) -> Dict[str, object]:
@@ -151,10 +157,9 @@ class Histogram:
                 for bound, count in zip(self.bounds, self.counts)
             },
             "overflow": self.counts[-1],
-            # Bucket-upper-bound approximations (see quantile()): each value
-            # is a guaranteed upper bound on the true percentile, labeled
-            # "p50"/"p95"/"p99" to line up with the exact raw-sample
-            # percentiles bench_server_throughput reports.
+            # Within-bucket interpolated approximations (see quantile()),
+            # labeled "p50"/"p95"/"p99" to line up with the exact
+            # raw-sample percentiles bench_server_throughput reports.
             "quantiles": {
                 "p50": self.quantile(0.50),
                 "p95": self.quantile(0.95),
@@ -233,7 +238,8 @@ class OperatorStats:
     __slots__ = (
         "rows_in", "rows_out", "batches_in", "batches_out", "wall_time",
         "peak_buffer_bytes", "spill_bytes_written", "spill_bytes_read",
-        "buffer_reuse_hits", "sort_elisions", "extra",
+        "buffer_reuse_hits", "sort_elisions", "bytes_materialized",
+        "peak_partition_bytes", "extra",
     )
 
     def __init__(self) -> None:
@@ -247,21 +253,30 @@ class OperatorStats:
         self.spill_bytes_read = 0
         self.buffer_reuse_hits = 0
         self.sort_elisions = 0
+        #: Resource ledger: total buffer bytes this operator emitted
+        #: (cumulative across outputs, unlike the max-tracked peak) and the
+        #: largest single partition it produced — the unit of per-worker
+        #: memory, so a high value here is the memory-side face of skew.
+        self.bytes_materialized = 0
+        self.peak_partition_bytes = 0
         #: Operator-specific details (sort mode, merge rounds, ...).
         self.extra: Dict[str, object] = {}
 
     # -- accumulation ---------------------------------------------------
     def add_input(self, value: object) -> None:
-        rows, batches, _ = _shape_of(value)
+        rows, batches, _, _ = _shape_of(value)
         self.rows_in += rows
         self.batches_in += batches
 
     def add_output(self, value: object) -> None:
-        rows, batches, buffer_bytes = _shape_of(value)
+        rows, batches, buffer_bytes, partition_peak = _shape_of(value)
         self.rows_out += rows
         self.batches_out += batches
+        self.bytes_materialized += buffer_bytes
         if buffer_bytes > self.peak_buffer_bytes:
             self.peak_buffer_bytes = buffer_bytes
+        if partition_peak > self.peak_partition_bytes:
+            self.peak_partition_bytes = partition_peak
 
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -275,21 +290,30 @@ class OperatorStats:
             "spill_bytes_read": self.spill_bytes_read,
             "buffer_reuse_hits": self.buffer_reuse_hits,
             "sort_elisions": self.sort_elisions,
+            "bytes_materialized": self.bytes_materialized,
+            "peak_partition_bytes": self.peak_partition_bytes,
         }
         if self.extra:
             out["extra"] = dict(self.extra)
         return out
 
 
-def _shape_of(value: object) -> Tuple[int, int, int]:
-    """(rows, batches, buffer bytes) of an operator input/output value."""
+def _shape_of(value: object) -> Tuple[int, int, int, int]:
+    """(rows, batches, buffer bytes, largest partition bytes) of an
+    operator input/output value."""
     from ..storage.buffer import TupleBuffer
 
     if isinstance(value, TupleBuffer):
-        return value.num_rows, value.num_partitions, value.approx_bytes()
+        partition_peak = max(
+            (p.approx_bytes() for p in value.partitions), default=0
+        )
+        return (
+            value.num_rows, value.num_partitions,
+            value.approx_bytes(), partition_peak,
+        )
     if isinstance(value, (list, tuple)):
-        return sum(len(b) for b in value), len(value), 0
-    return 0, 0, 0
+        return sum(len(b) for b in value), len(value), 0, 0
+    return 0, 0, 0, 0
 
 
 class QueryProfile:
@@ -355,7 +379,8 @@ class QueryProfile:
             "serial_time_s": self.serial_time,
             "makespan_s": self.makespan,
             "counters": dict(self.counters),
-            "rewrites": list(self.rewrites),
+            "rewrites": [str(entry) for entry in self.rewrites],
+            "rewrite_events": _rewrite_events_to_dicts(self.rewrites),
             "dags": [
                 {
                     "index": dag_index,
@@ -379,3 +404,9 @@ class QueryProfile:
 
             payload["trace_events"] = chrome_trace_events(trace)
         return payload
+
+
+def _rewrite_events_to_dicts(rewrites: List[str]) -> List[Dict[str, object]]:
+    from .provenance import rewrite_events_to_dicts
+
+    return rewrite_events_to_dicts(rewrites)

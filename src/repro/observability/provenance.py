@@ -1,0 +1,153 @@
+"""Structured optimizer/translator provenance.
+
+Every plan decision — an optimizer pass that fired, a translator
+buffer-reuse substitution, a cost-based strategy pick — is recorded as one
+:class:`RewriteEvent` on the owning :attr:`Dag.rewrites
+<repro.lolepop.base.Dag.rewrites>` log instead of an opaque string.
+
+A :class:`RewriteEvent` *is* a ``str`` (its value is the human-readable
+rewrite text every existing consumer renders), subclassed to carry the
+machine-checkable fields regression attribution needs: the pass name, the
+names of the affected DAG nodes, and the estimated plan cost before/after
+the rewrite (priced by :func:`repro.costmodel.dag_cost`). Serialization
+through ``QueryProfile.to_dict`` therefore stays backward compatible — the
+``rewrites`` list remains a list of strings — while a parallel
+``rewrite_events`` list exposes the structure (see
+:func:`rewrite_events_to_dicts`).
+
+``tools/lint_engine.py`` rule R5 enforces that engine code appends through
+:meth:`Dag.record_rewrite <repro.lolepop.base.Dag.record_rewrite>` (which
+constructs events), never a bare string.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+__all__ = ["RewriteEvent", "rewrite_events_to_dicts"]
+
+
+class RewriteEvent(str):
+    """One recorded plan-rewrite decision.
+
+    The string value is the legacy display text (``"elide_redundant_sorts
+    x2"``, ``"buffer-reuse: ..."``); the attributes carry the structure:
+
+    - ``pass_name`` — the pass / decision family that fired;
+    - ``detail`` — free-text qualifier (counts, reuse-spec summary);
+    - ``nodes`` — ``describe()``-style names of the DAG nodes the rewrite
+      touched (removed, substituted, or rewired), possibly empty;
+    - ``cost_before`` / ``cost_after`` — estimated whole-DAG cost (see
+      :func:`repro.costmodel.dag_cost`) around the rewrite, ``None`` for
+      construction-time decisions where the "before" DAG never existed.
+
+    (No ``__slots__``: CPython forbids nonempty slots on subclasses of
+    variable-length builtins like ``str``.)
+    """
+
+    def __new__(
+        cls,
+        text: str,
+        pass_name: Optional[str] = None,
+        detail: str = "",
+        nodes: Iterable[str] = (),
+        cost_before: Optional[float] = None,
+        cost_after: Optional[float] = None,
+    ) -> "RewriteEvent":
+        event = super().__new__(cls, text)
+        event.pass_name = pass_name if pass_name is not None else _infer_pass(text)
+        event.detail = detail
+        event.nodes = tuple(nodes)
+        event.cost_before = cost_before
+        event.cost_after = cost_after
+        return event
+
+    # ------------------------------------------------------------------
+    @property
+    def cost_delta(self) -> Optional[float]:
+        """``cost_after - cost_before`` (negative = the rewrite made the
+        plan cheaper), or ``None`` when either side is unknown."""
+        if self.cost_before is None or self.cost_after is None:
+            return None
+        return self.cost_after - self.cost_before
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "text": str(self),
+            "pass": self.pass_name,
+        }
+        if self.detail:
+            out["detail"] = self.detail
+        if self.nodes:
+            out["nodes"] = list(self.nodes)
+        if self.cost_before is not None:
+            out["cost_before"] = self.cost_before
+        if self.cost_after is not None:
+            out["cost_after"] = self.cost_after
+        delta = self.cost_delta
+        if delta is not None:
+            out["cost_delta"] = delta
+        return out
+
+    def render_cost(self) -> str:
+        """``"Δcost -12345 (67890 -> 55545)"`` or ``""`` without costs."""
+        delta = self.cost_delta
+        if delta is None:
+            return ""
+        return (
+            f"Δcost {delta:+.0f} "
+            f"({self.cost_before:.0f} -> {self.cost_after:.0f})"
+        )
+
+    # ------------------------------------------------------------------
+    # str subclass plumbing: copy.copy / pickling used by Dag.clone paths
+    # must preserve the structured fields, not decay to a plain str.
+    def __copy__(self) -> "RewriteEvent":
+        return self
+
+    def __deepcopy__(self, memo) -> "RewriteEvent":
+        return self
+
+    def __reduce__(self):
+        return (
+            _rebuild_event,
+            (
+                str(self), self.pass_name, self.detail, self.nodes,
+                self.cost_before, self.cost_after,
+            ),
+        )
+
+
+def _rebuild_event(
+    text: str,
+    pass_name: Optional[str],
+    detail: str,
+    nodes: Tuple[str, ...],
+    cost_before: Optional[float],
+    cost_after: Optional[float],
+) -> RewriteEvent:
+    return RewriteEvent(
+        text, pass_name=pass_name, detail=detail, nodes=nodes,
+        cost_before=cost_before, cost_after=cost_after,
+    )
+
+
+def _infer_pass(text: str) -> str:
+    """Best-effort pass name from a display text: the prefix before the
+    first ``:`` or the first token (``"elide_redundant_sorts x2"`` →
+    ``"elide_redundant_sorts"``)."""
+    head = text.split(":", 1)[0]
+    return head.split(" ", 1)[0] if " " in head and ":" not in text else head
+
+
+def rewrite_events_to_dicts(rewrites: Iterable[str]) -> List[dict]:
+    """Structured view of a rewrites log. Plain-string entries (none should
+    exist after lint rule R5, but profiles loaded from old JSON may carry
+    them) degrade to ``{"text": ...}``."""
+    out: List[dict] = []
+    for entry in rewrites:
+        if isinstance(entry, RewriteEvent):
+            out.append(entry.to_dict())
+        else:
+            out.append({"text": str(entry), "pass": _infer_pass(str(entry))})
+    return out

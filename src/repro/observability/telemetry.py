@@ -111,7 +111,7 @@ class QueryRecord:
         "error", "rows", "plan_cache_hit", "result_cache_hit",
         "parse_bind_s", "translate_s", "execute_s", "total_s",
         "queue_wait_s", "spill_bytes_written", "spill_bytes_read",
-        "max_q_error", "wall",
+        "max_q_error", "morsel_skew", "straggler", "wall",
     )
 
     def __init__(
@@ -134,6 +134,8 @@ class QueryRecord:
         spill_bytes_written: int = 0,
         spill_bytes_read: int = 0,
         max_q_error: Optional[float] = None,
+        morsel_skew: Optional[float] = None,
+        straggler: Optional[str] = None,
     ):
         self.query_id = query_id
         self.session_id = session_id
@@ -159,6 +161,11 @@ class QueryRecord:
         #: root-level Q-error from the cached plan estimate; ``None`` when
         #: no estimate exists (DDL, EXPLAIN, estimator failure).
         self.max_q_error = max_q_error
+        #: Worst per-phase morsel skew (max/mean work-item duration) and
+        #: the ``"operator/phase"`` that caused it, when a trace was
+        #: collected; ``None`` otherwise (the serving default).
+        self.morsel_skew = morsel_skew
+        self.straggler = straggler
         self.wall = time.time()
 
     def to_dict(self) -> dict:
@@ -570,8 +577,8 @@ def render_report(doc: dict, width: int = 100) -> str:
         quantiles = latency.get("quantiles", {})
         lines.append(
             f"  {entry['fingerprint']} n={entry['count']:<6} "
-            f"p50<={_fmt_ms(quantiles.get('p50'))} "
-            f"p95<={_fmt_ms(quantiles.get('p95'))} "
+            f"p50~{_fmt_ms(quantiles.get('p50'))} "
+            f"p95~{_fmt_ms(quantiles.get('p95'))} "
             f"{q_text} {entry['example_sql'][:45]!r}"
         )
 

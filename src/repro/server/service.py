@@ -104,6 +104,10 @@ class QueryTicket:
         self.est_bytes = 0.0
         self.from_result_cache = False
         self.token: Optional[CancellationToken] = None
+        #: Seconds the admission controller spent admitting/reserving this
+        #: ticket (measured around ``admission.admit``); threaded into the
+        #: execution config so Chrome traces carry a ``service:*`` lane.
+        self.admission_reserve_s = 0.0
         self.submitted_at = time.monotonic()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -335,6 +339,7 @@ class QueryService:
 
         with self._tickets_lock:
             self._tickets[ticket.query_id] = ticket
+        admit_started = time.monotonic()
         try:
             run_now = self.admission.admit(ticket)
         except AdmissionError as error:
@@ -350,6 +355,7 @@ class QueryService:
                 self._tickets.pop(ticket.query_id, None)
             ticket._finish("failed", error=error)
             raise
+        ticket.admission_reserve_s = time.monotonic() - admit_started
         self._count("service.admitted")
         if run_now:
             self._dispatch(ticket)
@@ -407,6 +413,11 @@ class QueryService:
             # execute_prepared emits this query's QueryRecord (including
             # error/cancel status) — one record per query, service or not.
             executed = True
+            # Stamp the measured service-layer waits onto this ticket's
+            # (private, per-query) config so the execution trace carries
+            # them (→ Chrome-trace service spans).
+            ticket._config.queue_wait_s = ticket.queue_wait or 0.0
+            ticket._config.admission_reserve_s = ticket.admission_reserve_s
             result = self.db.execute_prepared(
                 ticket._prepared,
                 engine=ticket._engine,

@@ -446,8 +446,8 @@ class Shell:
             )
             self.write(
                 f"  {entry.fingerprint} n={entry.count:<6} "
-                f"p50<={entry.latency.quantile(0.5) * 1000:.1f}ms "
-                f"p95<={entry.latency.quantile(0.95) * 1000:.1f}ms "
+                f"p50~{entry.latency.quantile(0.5) * 1000:.1f}ms "
+                f"p95~{entry.latency.quantile(0.95) * 1000:.1f}ms "
                 f"{q_text} {entry.example_sql[:50]!r}"
             )
         drifting = telemetry.workload.drifting_templates()

@@ -80,7 +80,9 @@ class TestMetricsPrimitives:
         assert hist.total == 5
         assert hist.mean == pytest.approx(56.05 / 5)
         assert hist.counts == [1, 2, 1, 1]
-        assert hist.quantile(0.5) == 1.0
+        # Interpolated within the (0.1, 1.0] bucket: target rank 2.5 of 5,
+        # 1 observation below the bucket, 2 inside -> 0.1 + 0.75 * 0.9.
+        assert hist.quantile(0.5) == pytest.approx(0.775)
         snapshot = hist.to_dict()
         assert snapshot["total"] == 5 and snapshot["overflow"] == 1
 

@@ -1,0 +1,606 @@
+"""Tests for optimizer provenance (structured rewrite events + cost
+deltas), the per-operator resource ledger, service wait-span export, the
+persistent cardinality-feedback store, and the closed Q-error loop."""
+
+from __future__ import annotations
+
+import ast
+import copy
+import importlib.util
+import json
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.execution.context import EngineConfig
+from repro.execution.trace import ExecutionTrace, TraceRecord
+from repro.observability.chrome import (
+    REGION_PID,
+    SERVICE_PID,
+    chrome_trace_events,
+    validate_trace_events,
+)
+from repro.observability.analyze import morsel_skew
+from repro.observability.feedback import (
+    FeedbackStore,
+    plan_signature,
+    root_observation,
+)
+from repro.observability.provenance import (
+    RewriteEvent,
+    rewrite_events_to_dicts,
+)
+from repro.observability.telemetry import Telemetry, TelemetryConfig
+
+
+def fresh_telemetry(**overrides) -> Telemetry:
+    overrides.setdefault("enabled", True)
+    overrides.setdefault("slow_query_threshold_s", 0.0)
+    return Telemetry(TelemetryConfig(**overrides))
+
+
+def correlated_db(feedback_dir, rows=4000, keys=40, telemetry=None):
+    """A table where ``GROUP BY a, b`` defeats the independence assumption:
+    ``b`` is a function of ``a``, so the statistics-based group estimate
+    (``d(a) * d(b)`` capped by rows) overshoots the true group count by
+    ~``keys``x. Only observed actuals can fix the estimate."""
+    db = Database(
+        num_threads=2,
+        telemetry=telemetry or fresh_telemetry(),
+        feedback_dir=str(feedback_dir),
+    )
+    db.create_table("c", {"a": "int64", "b": "int64", "v": "float64"})
+    a = np.arange(rows) % keys
+    db.insert("c", {"a": a, "b": a * 2, "v": np.ones(rows)})
+    return db
+
+
+DRIFT_SQL = "SELECT a, b, sum(v) FROM c GROUP BY a, b"
+
+
+# ---------------------------------------------------------------------------
+# RewriteEvent: string compatibility + structured payload
+# ---------------------------------------------------------------------------
+class TestRewriteEvent:
+    def make(self):
+        return RewriteEvent(
+            "elide_redundant_sorts x2",
+            pass_name="elide_sorts",
+            detail="x2",
+            nodes=("#3 SORT [k ASC]", "#7 SORT [k ASC]"),
+            cost_before=900.0,
+            cost_after=400.0,
+        )
+
+    def test_is_a_string(self):
+        event = self.make()
+        assert isinstance(event, str)
+        assert event == "elide_redundant_sorts x2"
+        assert event.startswith("elide_redundant_sorts")
+        assert "; ".join([event]) == "elide_redundant_sorts x2"
+
+    def test_structured_fields(self):
+        event = self.make()
+        assert event.pass_name == "elide_sorts"
+        assert event.nodes == ("#3 SORT [k ASC]", "#7 SORT [k ASC]")
+        assert event.cost_delta == pytest.approx(-500.0)
+        assert "-500" in event.render_cost()
+
+    def test_to_dict_round_trip(self):
+        doc = self.make().to_dict()
+        assert doc["text"] == "elide_redundant_sorts x2"
+        assert doc["pass"] == "elide_sorts"
+        assert doc["cost_delta"] == pytest.approx(-500.0)
+        json.dumps(doc)  # JSON-safe
+
+    def test_copy_and_pickle_survive(self):
+        event = self.make()
+        assert copy.copy(event) is event
+        assert copy.deepcopy(event) is event
+        restored = pickle.loads(pickle.dumps(event))
+        assert restored == event
+        assert restored.pass_name == "elide_sorts"
+        assert restored.cost_delta == pytest.approx(-500.0)
+
+    def test_plain_strings_degrade_in_event_dicts(self):
+        docs = rewrite_events_to_dicts(["buffer-reuse SORT->MERGE"])
+        assert docs[0]["text"] == "buffer-reuse SORT->MERGE"
+        assert "cost_delta" not in docs[0] or docs[0]["cost_delta"] is None
+
+
+# ---------------------------------------------------------------------------
+# Provenance end to end: optimizer -> profile -> EXPLAIN ANALYZE
+# ---------------------------------------------------------------------------
+class TestProvenanceEndToEnd:
+    @pytest.fixture()
+    def db(self):
+        db = Database(num_threads=2, telemetry=fresh_telemetry())
+        db.create_table("t", {"g": "int64", "x": "float64"})
+        rng = np.random.default_rng(7)
+        db.insert(
+            "t",
+            {"g": rng.integers(0, 5, 2000), "x": rng.random(2000)},
+        )
+        return db
+
+    # Two aggregations over the same grouping produce a redundant-combine
+    # (and sort-elision) opportunity, so rewrites fire deterministically.
+    SQL = "SELECT g, sum(x), count(*) FROM t GROUP BY g ORDER BY g"
+
+    def test_dag_rewrites_are_events_with_costs(self, db):
+        result = db.sql(
+            self.SQL, config=EngineConfig(collect_metrics=True)
+        )
+        events = [
+            entry
+            for entry in result.profile.rewrites
+            if isinstance(entry, RewriteEvent)
+        ]
+        assert events, "optimizer recorded no structured rewrite events"
+        costed = [e for e in events if e.cost_delta is not None]
+        assert costed, "no rewrite carried an estimated cost delta"
+        assert all(e.cost_delta <= 0.0 for e in costed)
+
+    def test_profile_dict_exposes_rewrite_events(self, db):
+        result = db.sql(
+            self.SQL, config=EngineConfig(collect_metrics=True)
+        )
+        doc = result.profile.to_dict()
+        assert all(isinstance(text, str) for text in doc["rewrites"])
+        assert doc["rewrite_events"], "rewrite_events missing from profile"
+        event = doc["rewrite_events"][0]
+        assert set(event) >= {"text", "pass"}
+        json.dumps(doc["rewrite_events"])
+
+    def test_explain_analyze_renders_cost_deltas(self, db):
+        text = db.explain_analyze(self.SQL)
+        assert "rewrites:" in text
+        assert "Δcost" in text
+        assert "->" in text
+
+    def test_ledger_fields_populated(self, db):
+        result = db.sql(
+            self.SQL, config=EngineConfig(collect_metrics=True)
+        )
+        stats = [entry[4] for entry in result.profile.operator_stats()]
+        assert any(op.bytes_materialized > 0 for op in stats)
+        doc = result.profile.to_dict()
+        op_doc = doc["dags"][0]["operators"][0]
+        assert "bytes_materialized" in op_doc
+        assert "peak_partition_bytes" in op_doc
+
+
+# ---------------------------------------------------------------------------
+# Morsel skew + Chrome wait spans
+# ---------------------------------------------------------------------------
+def skewed_trace() -> ExecutionTrace:
+    trace = ExecutionTrace()
+    # Thread 1 is the straggler: 4x the mean morsel duration.
+    for thread, start, end in ((0, 0.0, 0.1), (1, 0.0, 0.8), (2, 0.0, 0.1)):
+        trace.records.append(
+            TraceRecord(
+                operator="HASHAGG", phase="p1",
+                thread=thread, start=start, end=end,
+            )
+        )
+    return trace
+
+
+class TestMorselSkew:
+    def test_skew_attribution(self):
+        entries = morsel_skew(skewed_trace())
+        assert entries
+        top = entries[0]
+        assert top["operator"] == "HASHAGG"
+        assert top["straggler_thread"] == 1
+        assert top["max_s"] == pytest.approx(0.8)
+        assert top["skew"] > 2.0
+
+    def test_empty_trace(self):
+        assert morsel_skew(None) == []
+        assert morsel_skew(ExecutionTrace()) == []
+
+
+class TestChromeWaitSpans:
+    def test_wait_spans_schema_and_placement(self):
+        trace = skewed_trace()
+        trace.queue_wait_s = 0.25
+        trace.admission_reserve_s = 0.05
+        events = chrome_trace_events(trace)
+        validate_trace_events(events)  # full span schema holds
+        service = [e for e in events if e["pid"] == SERVICE_PID]
+        names = {e["name"] for e in service}
+        assert names == {"service:queue-wait", "service:admission-reserve"}
+        # Waits precede execution: spans tile [-0.30s, 0] in order.
+        by_name = {e["name"]: e for e in service}
+        queue = by_name["service:queue-wait"]
+        reserve = by_name["service:admission-reserve"]
+        assert queue["ts"] == pytest.approx(-0.30 * 1e6)
+        assert queue["ts"] + queue["dur"] == pytest.approx(reserve["ts"])
+        assert reserve["ts"] + reserve["dur"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_zero_waits_emit_no_service_spans(self):
+        events = chrome_trace_events(skewed_trace())
+        assert not [e for e in events if e["pid"] == SERVICE_PID]
+
+    def test_region_spans_carry_skew_args(self):
+        from repro.execution.trace import RegionSpan
+
+        trace = skewed_trace()
+        trace.add_region(
+            RegionSpan(
+                operator="HASHAGG", phase="p1", start=0.0, end=0.8, items=3
+            )
+        )
+        events = chrome_trace_events(trace)
+        region = [e for e in events if e["pid"] == REGION_PID]
+        assert region and region[0]["args"]["straggler_thread"] == 1
+        assert region[0]["args"]["morsel_skew"] > 2.0
+
+    def test_config_waits_reach_trace(self):
+        config = EngineConfig(
+            collect_trace=True, queue_wait_s=0.4, admission_reserve_s=0.1
+        )
+        from repro.execution.context import ExecutionContext
+
+        context = ExecutionContext(config)
+        assert context.trace.queue_wait_s == pytest.approx(0.4)
+        assert context.trace.admission_reserve_s == pytest.approx(0.1)
+        # Never part of the translation fingerprint: ids and waits do not
+        # change the plan.
+        assert (
+            config.translation_fingerprint()
+            == EngineConfig().translation_fingerprint()
+        )
+
+
+# ---------------------------------------------------------------------------
+# Feedback store: persistence, tolerance, bounds
+# ---------------------------------------------------------------------------
+class FakePlan:
+    def label(self):
+        return "SCAN fake"
+
+    children = ()
+
+
+def fake_observation(actual=100, est=10.0):
+    return root_observation(FakePlan(), est, actual)
+
+
+class TestFeedbackStore:
+    def test_round_trip_across_restarts(self, tmp_path):
+        store = FeedbackStore(str(tmp_path))
+        store.observe("abc123", "select 1", [fake_observation(actual=300)])
+        store.flush()
+        reopened = FeedbackStore(str(tmp_path))
+        assert reopened.fingerprints() == ["abc123"]
+        doc = reopened.get("abc123")
+        assert doc["operators"]
+        only = next(iter(doc["operators"].values()))
+        assert only["actual_rows"] == pytest.approx(300.0)
+        assert only["signature"] == plan_signature(FakePlan())
+
+    def test_actuals_smooth_with_ewma(self, tmp_path):
+        store = FeedbackStore(str(tmp_path))
+        store.observe("abc123", "select 1", [fake_observation(actual=100)])
+        store.observe("abc123", "select 1", [fake_observation(actual=200)])
+        doc = store.get("abc123")
+        only = next(iter(doc["operators"].values()))
+        # EWMA: 0.7 * 100 + 0.3 * 200
+        assert only["actual_rows"] == pytest.approx(130.0)
+
+    def test_corrupt_file_tolerated_with_warning(self, tmp_path):
+        store = FeedbackStore(str(tmp_path))
+        store.observe("abc123", "select 1", [fake_observation()])
+        store.flush()
+        (tmp_path / "fb_dead.json").write_text("{not json")
+        (tmp_path / "fb_beef.json").write_text('{"schema": 999}')
+        telemetry = fresh_telemetry()
+        reopened = FeedbackStore(str(tmp_path), telemetry=telemetry)
+        assert reopened.fingerprints() == ["abc123"]  # good file survives
+        warnings = [
+            e
+            for e in telemetry.recorder.snapshot()
+            if e["kind"] == "feedback.load_error"
+        ]
+        assert len(warnings) == 2
+
+    def test_bounded_size_evicts_oldest(self, tmp_path):
+        telemetry = fresh_telemetry()
+        store = FeedbackStore(str(tmp_path), max_files=3, telemetry=telemetry)
+        for index in range(5):
+            store.observe(f"fp{index}", "select 1", [fake_observation()])
+        store.flush()
+        assert len(store) == 3
+        files = sorted(p.name for p in tmp_path.glob("fb_*.json"))
+        assert len(files) == 3
+        assert "fb_fp0.json" not in files and "fb_fp1.json" not in files
+        evictions = [
+            e
+            for e in telemetry.recorder.snapshot()
+            if e["kind"] == "feedback.evict"
+        ]
+        assert evictions
+
+    def test_calibration_lookup(self, tmp_path):
+        store = FeedbackStore(str(tmp_path))
+        store.observe("abc123", "select 1", [fake_observation(actual=250)])
+        calibration = store.calibration()
+        assert calibration.rows_for(FakePlan()) == pytest.approx(250.0)
+
+        class OtherPlan:
+            def label(self):
+                return "SCAN other"
+
+            children = ()
+
+        assert calibration.rows_for(OtherPlan()) is None
+
+
+# ---------------------------------------------------------------------------
+# The closed loop: replay a drifting workload twice
+# ---------------------------------------------------------------------------
+class TestClosedLoop:
+    def run_workload(self, db, repetitions=6):
+        worst = 0.0
+        for _ in range(repetitions):
+            result = db.sql(DRIFT_SQL)
+            assert len(result.batch) == 40
+        for template in db.telemetry.workload.templates():
+            worst = max(worst, template.q_max)
+        return worst
+
+    def test_second_run_has_strictly_lower_max_q_error(self, tmp_path):
+        first = correlated_db(tmp_path / "fb")
+        q_first = self.run_workload(first)
+        # Independence assumption overshoots: d(a)*d(b) >> true groups.
+        assert q_first > 2.0
+        first.feedback.flush()
+
+        second = correlated_db(tmp_path / "fb")
+        q_second = self.run_workload(second)
+        assert q_second < q_first
+        assert q_second == pytest.approx(1.0, abs=0.5)
+
+    def test_estimator_consults_calibration(self, tmp_path):
+        first = correlated_db(tmp_path / "fb")
+        self.run_workload(first)
+        first.feedback.flush()
+        second = correlated_db(tmp_path / "fb")
+        estimate = second.estimate(DRIFT_SQL)
+        assert estimate == pytest.approx(40.0, rel=0.5)
+
+    def test_drift_triggers_replan_and_cache_discard(self, tmp_path):
+        telemetry = fresh_telemetry()
+        db = correlated_db(tmp_path / "fb", telemetry=telemetry)
+        prepared = db.prepare(DRIFT_SQL)
+        fingerprint = None
+
+        db.sql(DRIFT_SQL)
+        for record_fingerprint in (
+            t.fingerprint for t in telemetry.workload.templates()
+        ):
+            fingerprint = record_fingerprint
+        assert fingerprint is not None
+
+        class DriftingTemplate:
+            count = 20
+
+            @staticmethod
+            def drift_ratio():
+                return 5.0
+
+        real_get = telemetry.workload.get
+        telemetry.workload.get = lambda fp: DriftingTemplate()
+        try:
+            db._maybe_replan(fingerprint, prepared)
+        finally:
+            telemetry.workload.get = real_get
+        assert prepared.est_rows is None
+        assert not prepared.dag_templates
+        replans = [
+            e
+            for e in telemetry.recorder.snapshot()
+            if e["kind"] == "feedback.replan"
+        ]
+        assert replans and replans[0]["drift_ratio"] == pytest.approx(5.0)
+        # Throttled: a second drifting observation within REPLAN_INTERVAL
+        # does not discard again.
+        telemetry.workload.get = lambda fp: DriftingTemplate()
+        try:
+            db._maybe_replan(fingerprint, prepared)
+        finally:
+            telemetry.workload.get = real_get
+        assert (
+            len(
+                [
+                    e
+                    for e in telemetry.recorder.snapshot()
+                    if e["kind"] == "feedback.replan"
+                ]
+            )
+            == 1
+        )
+
+
+# ---------------------------------------------------------------------------
+# Disabled path stays allocation-free
+# ---------------------------------------------------------------------------
+class TestDisabledPath:
+    def test_feedback_not_consulted_when_telemetry_disabled(
+        self, tmp_path, monkeypatch
+    ):
+        telemetry = Telemetry(TelemetryConfig(enabled=False))
+        db = correlated_db(tmp_path / "fb", telemetry=telemetry)
+        observations = []
+        monkeypatch.setattr(
+            db.feedback,
+            "observe",
+            lambda *args, **kwargs: observations.append(1),
+        )
+        db.sql(DRIFT_SQL)
+        assert observations == []
+        telemetry.enable()
+        db.sql(DRIFT_SQL)
+        assert len(observations) == 1
+
+    def test_no_store_without_directory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FEEDBACK_DIR", raising=False)
+        assert Database().feedback is None
+
+
+# ---------------------------------------------------------------------------
+# Tools: lint rule R5 and plan_diff
+# ---------------------------------------------------------------------------
+def _load_tool(name):
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "tools",
+        f"{name}.py",
+    )
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestLintR5:
+    def findings_for(self, source):
+        from pathlib import Path
+
+        lint = _load_tool("lint_engine")
+        findings = []
+        lint.check_stringly_rewrites(
+            Path("synthetic.py"), ast.parse(source), findings
+        )
+        return findings
+
+    def test_flags_plain_string_appends(self):
+        source = (
+            "def f(dag, n):\n"
+            "    dag.rewrites.append('literal')\n"
+            "    dag.rewrites.append(f'elide x{n}')\n"
+            "    dag.rewrites.append('a' + str(n))\n"
+        )
+        findings = self.findings_for(source)
+        assert len(findings) == 3
+        assert all(f.rule == "stringly-rewrite" for f in findings)
+
+    def test_allows_record_rewrite_and_event_appends(self):
+        source = (
+            "def f(dag):\n"
+            "    dag.record_rewrite('fine: builds a RewriteEvent')\n"
+            "    dag.rewrites.append(make_event())\n"
+            "    other.history.append('unrelated list of strings')\n"
+        )
+        assert self.findings_for(source) == []
+
+    def test_src_tree_is_clean(self):
+        from pathlib import Path
+
+        lint = _load_tool("lint_engine")
+        findings = [
+            f
+            for f in lint.lint(Path("src"))
+            if f.rule == "stringly-rewrite"
+        ]
+        assert findings == []
+
+
+class TestPlanDiff:
+    def profile_doc(self, wall, with_sort=True):
+        operators = [
+            {
+                "id": 1, "name": "SCAN", "describe": "t",
+                "wall_time_s": wall, "rows_out": 1000,
+                "spill_bytes_written": 0, "spill_bytes_read": 0,
+                "bytes_materialized": 4096,
+            }
+        ]
+        rewrites = []
+        events = []
+        if with_sort:
+            operators.append(
+                {
+                    "id": 3, "name": "SORT", "describe": "k",
+                    "wall_time_s": 0.2, "rows_out": 1000,
+                    "spill_bytes_written": 0, "spill_bytes_read": 0,
+                    "bytes_materialized": 8192,
+                }
+            )
+        else:
+            rewrites.append("elide_redundant_sorts x1")
+            events.append(
+                {
+                    "text": "elide_redundant_sorts x1",
+                    "pass": "elide_sorts",
+                    "nodes": ["#3 SORT [k]"],
+                    "cost_delta": -800.0,
+                }
+            )
+        return {
+            "query": "q", "serial_time_s": wall + (0.2 if with_sort else 0.0),
+            "rewrites": rewrites, "rewrite_events": events,
+            "dags": [{"index": 0, "operators": operators}],
+        }
+
+    def test_profile_diff_attributes_removed_operator(self):
+        plan_diff = _load_tool("plan_diff")
+        report = plan_diff.diff_profiles(
+            self.profile_doc(0.1, with_sort=True),
+            self.profile_doc(0.15, with_sort=False),
+        )
+        assert report["kind"] == "profile"
+        removed = report["operators_removed"]
+        assert len(removed) == 1
+        assert removed[0]["attributed_to"] == "elide_redundant_sorts x1"
+        assert report["rewrites_added"][0]["cost_delta"] == pytest.approx(
+            -800.0
+        )
+        changed = report["operators_changed"]
+        assert changed and changed[0]["wall_delta_s"] == pytest.approx(0.05)
+
+    def test_snapshot_diff(self):
+        plan_diff = _load_tool("plan_diff")
+        base = {
+            "pr": 8,
+            "families": {
+                "fam": {"queries": {"q1": {"wall_s": 0.10}}},
+            },
+            "server": {
+                "throughput_qps": 100.0,
+                "latency_ms": {"p50": 1.0, "p95": 2.0},
+            },
+        }
+        fresh = json.loads(json.dumps(base))
+        fresh["pr"] = 9
+        fresh["families"]["fam"]["queries"]["q1"]["wall_s"] = 0.12
+        fresh["server"]["throughput_qps"] = 90.0
+        report = plan_diff.diff_snapshots(base, fresh)
+        assert report["queries"][0]["wall_delta_pct"] == pytest.approx(20.0)
+        assert report["server"]["throughput_qps_delta"] == pytest.approx(
+            -10.0
+        )
+
+    def test_cli_rejects_mixed_kinds(self, tmp_path):
+        plan_diff = _load_tool("plan_diff")
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(self.profile_doc(0.1)))
+        b.write_text(json.dumps({"families": {}}))
+        assert plan_diff.main([str(a), str(b)]) == 2
+
+    def test_cli_writes_json_report(self, tmp_path, capsys):
+        plan_diff = _load_tool("plan_diff")
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        out = tmp_path / "report.json"
+        a.write_text(json.dumps(self.profile_doc(0.1)))
+        b.write_text(json.dumps(self.profile_doc(0.3)))
+        assert plan_diff.main([str(a), str(b), "--json", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["total_wall_delta_s"] == pytest.approx(0.2)

@@ -203,7 +203,7 @@ class TestShell:
         out.truncate(0), out.seek(0)
         sh.execute_line(".fingerprints")
         text = out.getvalue()
-        assert "n=1" in text and "p95<=" in text
+        assert "n=1" in text and "p95~" in text
         out.truncate(0), out.seek(0)
         sh.execute_line(".health")
         assert "no health samples" in out.getvalue()

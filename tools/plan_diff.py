@@ -1,0 +1,359 @@
+#!/usr/bin/env python
+"""Regression attribution: diff two query-profile JSONs or two benchmark
+snapshots and attribute the movement to operators and rewrite events.
+
+Two input shapes are auto-detected:
+
+- **profile JSON** (``QueryProfile.to_dict``, e.g. the shell's ``.profile
+  json`` or the benchmark ``--profile-dir`` output): operators are matched
+  by ``(dag index, operator id, name)``; per-operator wall-time, rows,
+  spill, and bytes-materialized deltas are reported, operators that
+  appeared/disappeared are listed, and disappeared operators are
+  attributed to the rewrite events that name them (``rewrite_events``
+  carries the optimizer's structured provenance, including per-rewrite
+  estimated-cost deltas).
+- **benchmark snapshot** (``tools/bench_snapshot.py``'s
+  ``BENCH_<pr>.json``): per-family query wall-time deltas plus the server
+  throughput/latency block.
+
+Usage::
+
+    PYTHONPATH=src python tools/plan_diff.py before.json after.json
+    PYTHONPATH=src python tools/plan_diff.py BENCH_8.json fresh.json \
+        --json report.json
+
+Exit status: 0 on success (any delta — this tool attributes, the bench
+gate judges), 2 on unreadable input or mismatched document kinds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+
+def _load(path: str) -> Optional[dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return None
+    if not isinstance(doc, dict):
+        print(f"error: {path} is not a JSON object", file=sys.stderr)
+        return None
+    return doc
+
+
+def _kind(doc: dict) -> Optional[str]:
+    if "dags" in doc:
+        return "profile"
+    if "families" in doc:
+        return "snapshot"
+    return None
+
+
+def _fmt_s(seconds: float) -> str:
+    return f"{seconds * 1000:+.2f}ms"
+
+
+def _fmt_bytes(num: float) -> str:
+    sign = "+" if num >= 0 else "-"
+    num = abs(num)
+    for unit in ("B", "KB", "MB", "GB"):
+        if num < 1024.0 or unit == "GB":
+            return f"{sign}{num:.0f}{unit}" if unit == "B" else f"{sign}{num:.1f}{unit}"
+        num /= 1024.0
+    return f"{sign}{num:.1f}GB"
+
+
+# ----------------------------------------------------------------------
+# Profile diff
+# ----------------------------------------------------------------------
+
+def _profile_operators(doc: dict) -> Dict[Tuple[int, int, str], dict]:
+    out: Dict[Tuple[int, int, str], dict] = {}
+    for dag in doc.get("dags", []):
+        dag_index = int(dag.get("index", 0))
+        for op in dag.get("operators", []):
+            key = (dag_index, int(op.get("id", 0)), str(op.get("name", "?")))
+            out[key] = op
+    return out
+
+
+def _op_label(key: Tuple[int, int, str], op: dict) -> str:
+    dag_index, node_index, name = key
+    describe = op.get("describe") or ""
+    label = f"region {dag_index} #{node_index} {name}"
+    return f"{label} [{describe}]" if describe else label
+
+
+def _rewrite_texts(doc: dict) -> List[str]:
+    return [str(entry) for entry in doc.get("rewrites", [])]
+
+
+def _rewrite_events(doc: dict) -> List[dict]:
+    events = doc.get("rewrite_events")
+    if isinstance(events, list):
+        return [e for e in events if isinstance(e, dict)]
+    # Old profiles: degrade the plain strings.
+    return [{"text": text} for text in _rewrite_texts(doc)]
+
+
+def diff_profiles(before: dict, after: dict) -> dict:
+    ops_a = _profile_operators(before)
+    ops_b = _profile_operators(after)
+    changed: List[dict] = []
+    for key in sorted(set(ops_a) & set(ops_b)):
+        a, b = ops_a[key], ops_b[key]
+        entry = {
+            "operator": _op_label(key, b),
+            "wall_delta_s": float(b.get("wall_time_s", 0.0))
+            - float(a.get("wall_time_s", 0.0)),
+            "rows_out_delta": int(b.get("rows_out", 0)) - int(a.get("rows_out", 0)),
+            "spill_delta_bytes": (
+                int(b.get("spill_bytes_written", 0))
+                + int(b.get("spill_bytes_read", 0))
+                - int(a.get("spill_bytes_written", 0))
+                - int(a.get("spill_bytes_read", 0))
+            ),
+            "materialized_delta_bytes": int(b.get("bytes_materialized", 0))
+            - int(a.get("bytes_materialized", 0)),
+        }
+        if any(
+            entry[k]
+            for k in (
+                "wall_delta_s", "rows_out_delta",
+                "spill_delta_bytes", "materialized_delta_bytes",
+            )
+        ):
+            changed.append(entry)
+    changed.sort(key=lambda e: -abs(e["wall_delta_s"]))
+
+    texts_a, texts_b = _rewrite_texts(before), _rewrite_texts(after)
+    added_rewrites = [t for t in texts_b if t not in texts_a]
+    removed_rewrites = [t for t in texts_a if t not in texts_b]
+    events_b = {str(e.get("text", "")): e for e in _rewrite_events(after)}
+
+    def _attribute(name: str) -> Optional[str]:
+        """The rewrite event (in `after`) whose node list names ``name``."""
+        for text, event in events_b.items():
+            nodes = event.get("nodes", [])
+            if any(name in str(node) for node in nodes):
+                return text
+        return None
+
+    removed_ops = [
+        {
+            "operator": _op_label(key, ops_a[key]),
+            "wall_s": float(ops_a[key].get("wall_time_s", 0.0)),
+            "attributed_to": _attribute(key[2]) if key[2] else None,
+        }
+        for key in sorted(set(ops_a) - set(ops_b))
+    ]
+    added_ops = [
+        {
+            "operator": _op_label(key, ops_b[key]),
+            "wall_s": float(ops_b[key].get("wall_time_s", 0.0)),
+        }
+        for key in sorted(set(ops_b) - set(ops_a))
+    ]
+    return {
+        "kind": "profile",
+        "query": after.get("query") or before.get("query"),
+        "total_wall_delta_s": float(after.get("serial_time_s", 0.0))
+        - float(before.get("serial_time_s", 0.0)),
+        "operators_changed": changed,
+        "operators_removed": removed_ops,
+        "operators_added": added_ops,
+        "rewrites_added": [
+            events_b.get(text, {"text": text}) for text in added_rewrites
+        ],
+        "rewrites_removed": removed_rewrites,
+    }
+
+
+def _render_profile(report: dict) -> List[str]:
+    lines = [f"plan diff (profile): {report.get('query') or '?'}"]
+    lines.append(f"total work: {_fmt_s(report['total_wall_delta_s'])}")
+    if report["rewrites_added"]:
+        lines.append("rewrites added:")
+        for event in report["rewrites_added"]:
+            note = ""
+            if event.get("cost_delta") is not None:
+                note = f"  Δcost {event['cost_delta']:+.0f}"
+            lines.append(f"  + {event.get('text', '?')}{note}")
+    if report["rewrites_removed"]:
+        lines.append("rewrites removed:")
+        lines.extend(f"  - {text}" for text in report["rewrites_removed"])
+    if report["operators_removed"]:
+        lines.append("operators removed:")
+        for entry in report["operators_removed"]:
+            attributed = entry.get("attributed_to")
+            note = f"  <- {attributed}" if attributed else ""
+            lines.append(
+                f"  - {entry['operator']} "
+                f"(was {entry['wall_s'] * 1000:.2f}ms){note}"
+            )
+    if report["operators_added"]:
+        lines.append("operators added:")
+        lines.extend(
+            f"  + {e['operator']} ({e['wall_s'] * 1000:.2f}ms)"
+            for e in report["operators_added"]
+        )
+    if report["operators_changed"]:
+        lines.append("operators changed (by |wall delta|):")
+        for entry in report["operators_changed"][:15]:
+            parts = [f"wall {_fmt_s(entry['wall_delta_s'])}"]
+            if entry["rows_out_delta"]:
+                parts.append(f"rows {entry['rows_out_delta']:+d}")
+            if entry["spill_delta_bytes"]:
+                parts.append(f"spill {_fmt_bytes(entry['spill_delta_bytes'])}")
+            if entry["materialized_delta_bytes"]:
+                parts.append(
+                    f"mat {_fmt_bytes(entry['materialized_delta_bytes'])}"
+                )
+            lines.append(f"  {entry['operator']}: " + " ".join(parts))
+    if not any(
+        report[k]
+        for k in (
+            "operators_changed", "operators_removed", "operators_added",
+            "rewrites_added", "rewrites_removed",
+        )
+    ):
+        lines.append("no per-operator or rewrite differences")
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Snapshot diff
+# ----------------------------------------------------------------------
+
+def diff_snapshots(before: dict, after: dict) -> dict:
+    queries: List[dict] = []
+    families_a = before.get("families", {})
+    families_b = after.get("families", {})
+    for family in sorted(set(families_a) & set(families_b)):
+        queries_a = families_a[family].get("queries", {})
+        queries_b = families_b[family].get("queries", {})
+        for name in sorted(set(queries_a) & set(queries_b)):
+            wall_a = float(queries_a[name].get("wall_s", 0.0))
+            wall_b = float(queries_b[name].get("wall_s", 0.0))
+            if wall_a <= 0.0:
+                continue
+            queries.append(
+                {
+                    "family": family,
+                    "query": name,
+                    "wall_before_s": wall_a,
+                    "wall_after_s": wall_b,
+                    "wall_delta_s": wall_b - wall_a,
+                    "wall_delta_pct": (wall_b - wall_a) / wall_a * 100.0,
+                }
+            )
+    queries.sort(key=lambda e: -abs(e["wall_delta_pct"]))
+
+    server: Dict[str, object] = {}
+    server_a, server_b = before.get("server"), after.get("server")
+    if isinstance(server_a, dict) and isinstance(server_b, dict):
+        qps_a = float(server_a.get("throughput_qps", 0.0))
+        qps_b = float(server_b.get("throughput_qps", 0.0))
+        server["throughput_qps_delta"] = qps_b - qps_a
+        if qps_a > 0.0:
+            server["throughput_delta_pct"] = (qps_b - qps_a) / qps_a * 100.0
+        lat_a = server_a.get("latency_ms", {})
+        lat_b = server_b.get("latency_ms", {})
+        server["latency_ms_delta"] = {
+            key: float(lat_b.get(key, 0.0)) - float(lat_a.get(key, 0.0))
+            for key in ("p50", "p95", "p99", "mean")
+            if key in lat_a or key in lat_b
+        }
+    return {
+        "kind": "snapshot",
+        "before_pr": before.get("pr"),
+        "after_pr": after.get("pr"),
+        "queries": queries,
+        "server": server,
+    }
+
+
+def _render_snapshot(report: dict, top: int) -> List[str]:
+    lines = [
+        "plan diff (bench snapshot): "
+        f"PR {report.get('before_pr')} -> PR {report.get('after_pr')}"
+    ]
+    queries = report["queries"]
+    if queries:
+        lines.append(f"query wall-time movement (top {top} by |%|):")
+        for entry in queries[:top]:
+            lines.append(
+                f"  {entry['family']}/{entry['query']}: "
+                f"{entry['wall_delta_pct']:+.1f}% "
+                f"({entry['wall_before_s'] * 1000:.2f}ms -> "
+                f"{entry['wall_after_s'] * 1000:.2f}ms)"
+            )
+    else:
+        lines.append("no overlapping queries between the snapshots")
+    server = report["server"]
+    if server:
+        qps = server.get("throughput_qps_delta", 0.0)
+        pct = server.get("throughput_delta_pct")
+        pct_text = f" ({pct:+.1f}%)" if pct is not None else ""
+        lines.append(f"server throughput: {qps:+.1f} qps{pct_text}")
+        deltas = server.get("latency_ms_delta", {})
+        if deltas:
+            lines.append(
+                "server latency: "
+                + " ".join(f"{k}{v:+.3f}ms" for k, v in sorted(deltas.items()))
+            )
+    return lines
+
+
+# ----------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("before", help="baseline profile or snapshot JSON")
+    parser.add_argument("after", help="current profile or snapshot JSON")
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write the structured report here"
+    )
+    parser.add_argument(
+        "--top", type=int, default=10,
+        help="max per-query rows in snapshot mode (default 10)",
+    )
+    args = parser.parse_args(argv)
+
+    before, after = _load(args.before), _load(args.after)
+    if before is None or after is None:
+        return 2
+    kind_a, kind_b = _kind(before), _kind(after)
+    if kind_a is None or kind_b is None or kind_a != kind_b:
+        print(
+            f"error: cannot diff {kind_a or 'unknown'} against "
+            f"{kind_b or 'unknown'} documents",
+            file=sys.stderr,
+        )
+        return 2
+
+    if kind_a == "profile":
+        report = diff_profiles(before, after)
+        lines = _render_profile(report)
+    else:
+        report = diff_snapshots(before, after)
+        lines = _render_snapshot(report, args.top)
+    print("\n".join(lines))
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=1)
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,11 +11,14 @@ Usage::
     PYTHONPATH=src python tools/telemetry_report.py telemetry.json
     PYTHONPATH=src python tools/telemetry_report.py telemetry.json --json
     PYTHONPATH=src python tools/telemetry_report.py telemetry.json \
-        --assert-min-fingerprints 1 --assert-zero-dropped
+        --assert-min-fingerprints 1 --assert-zero-dropped \
+        --assert-feedback-nonempty server-artifacts/feedback
 
 The ``--assert-*`` flags make the renderer double as a CI check: exit 1
-when the report has fewer tracked fingerprints than required or when the
-flight recorder dropped events (i.e. the ring was undersized for the run).
+when the report has fewer tracked fingerprints than required, when the
+flight recorder dropped events (i.e. the ring was undersized for the run),
+or when the cardinality feedback store directory holds no persisted
+observations (the feedback loop never closed).
 
 Exit status: 0 ok, 1 assertion failed, 2 bad arguments / unreadable input.
 """
@@ -43,6 +46,24 @@ def load_report(path: str) -> dict:
     return doc
 
 
+def _feedback_documents(directory: str) -> int:
+    """Number of valid, non-empty ``fb_*.json`` feedback documents in
+    ``directory`` (0 when the directory is missing or holds only corrupt
+    or operator-less files)."""
+    import glob
+
+    count = 0
+    for path in glob.glob(os.path.join(directory, "fb_*.json")):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if isinstance(doc, dict) and doc.get("operators"):
+            count += 1
+    return count
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("path", help="telemetry dump or report JSON file")
@@ -62,6 +83,13 @@ def main(argv=None) -> int:
         "--assert-zero-dropped",
         action="store_true",
         help="exit 1 if the flight recorder rotated any events out",
+    )
+    parser.add_argument(
+        "--assert-feedback-nonempty",
+        metavar="DIR",
+        default=None,
+        help="exit 1 unless DIR holds at least one non-empty persisted "
+        "cardinality-feedback document (fb_*.json)",
     )
     args = parser.parse_args(argv)
 
@@ -96,6 +124,15 @@ def main(argv=None) -> int:
                 f"flight recorder dropped {dropped} events "
                 "(ring capacity too small for the run)"
             )
+    if args.assert_feedback_nonempty is not None:
+        count = _feedback_documents(args.assert_feedback_nonempty)
+        if count == 0:
+            failures.append(
+                f"feedback store {args.assert_feedback_nonempty!r} holds no "
+                "valid observation documents (the Q-error loop never closed)"
+            )
+        else:
+            print(f"feedback store: {count} persisted fingerprint(s)")
     for failure in failures:
         print(f"ASSERTION FAILED: {failure}", file=sys.stderr)
     return 1 if failures else 0
